@@ -1,0 +1,582 @@
+//! The stateless neutralizer (§3 of the paper).
+//!
+//! A border middlebox of a neutrality-supporting ISP. It keeps **no
+//! per-flow state**: every packet carries (nonce, source address) from
+//! which the session key `Ks = CMAC(KM, nonce ‖ srcIP)` is recomputed.
+//! Any neutralizer of the domain holding the master key can therefore
+//! process any packet — the paper's anycast deployment (§3) and the
+//! fault-tolerance argument both rest on this property.
+//!
+//! Per-packet work, matching the paper's §4 cost model exactly:
+//! * key-setup packet → one short-RSA **encryption** (cheap, e = 3);
+//! * data/return packet → one CMAC derivation + one AES block operation.
+
+use crate::pushback::{PushbackConfig, PushbackEngine};
+use crate::qos;
+use crate::wire::{KeyFetchReply, KeyFetchReq, PushbackMsg};
+use nn_crypto::kdf::MasterKey;
+use nn_crypto::sealed::AddrSealer;
+use nn_crypto::RsaPublicKey;
+use nn_netsim::{Context, IfaceId, Node, RouteTable, SimTime};
+use nn_packet::{
+    build_shim, parse_shim, shim_flags, Ipv4Addr, Ipv4Cidr, Ipv4Packet, KeyStamp, ShimRepr,
+    ShimType,
+};
+use rand::Rng;
+
+/// Timer token for the pushback window tick.
+const TOKEN_PUSHBACK_TICK: u64 = 0xFB;
+/// Timer token for master-key rotation.
+const TOKEN_KEY_ROTATION: u64 = 0xFC;
+
+/// Master key with epoch-based rotation (§4 assumes "a neutralizer's
+/// master key lasts for an hour"). The epoch id lives in the top byte of
+/// every nonce, so key selection is still stateless; the previous epoch
+/// stays valid as a grace period so sessions straddle a rotation.
+pub struct MasterKeyEpochs {
+    current_epoch: u8,
+    current: MasterKey,
+    previous: Option<(u8, MasterKey)>,
+}
+
+impl MasterKeyEpochs {
+    /// Starts at epoch 0 with the given key material.
+    pub fn new(key: [u8; 16]) -> Self {
+        MasterKeyEpochs {
+            current_epoch: 0,
+            current: MasterKey::new(key),
+            previous: None,
+        }
+    }
+
+    /// Installs fresh key material; the old key remains usable for one
+    /// more epoch.
+    pub fn rotate(&mut self, key: [u8; 16]) {
+        let old_epoch = self.current_epoch;
+        let old = std::mem::replace(&mut self.current, MasterKey::new(key));
+        self.previous = Some((old_epoch, old));
+        self.current_epoch = self.current_epoch.wrapping_add(1);
+    }
+
+    /// The epoch new nonces are minted in.
+    pub fn current_epoch(&self) -> u8 {
+        self.current_epoch
+    }
+
+    /// Mints a nonce in the current epoch (top byte = epoch).
+    pub fn mint_nonce<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        let low: u64 = rng.gen::<u64>() & 0x00ff_ffff_ffff_ffff;
+        ((self.current_epoch as u64) << 56) | low
+    }
+
+    /// Derives `Ks` for (nonce, source), honoring the nonce's epoch.
+    /// Returns `None` for nonces from expired epochs.
+    pub fn derive(&self, nonce: u64, src: Ipv4Addr) -> Option<[u8; 16]> {
+        let epoch = (nonce >> 56) as u8;
+        if epoch == self.current_epoch {
+            Some(self.current.derive_ks(nonce, src.to_u32()))
+        } else if let Some((prev_epoch, prev)) = &self.previous {
+            (epoch == *prev_epoch).then(|| prev.derive_ks(nonce, src.to_u32()))
+        } else {
+            None
+        }
+    }
+
+    /// The current master key (for dynamic-address derivation).
+    pub fn current_key(&self) -> &MasterKey {
+        &self.current
+    }
+}
+
+/// Static configuration of a neutralizer box.
+pub struct NeutralizerConfig {
+    /// The anycast service address all customers publish (§3).
+    pub anycast: Ipv4Addr,
+    /// Dynamic-address pool for QoS flows (§3.4); routed to this box.
+    pub dyn_pool: Ipv4Cidr,
+    /// Customer prefixes this neutralizer serves ("inside" the domain).
+    pub domain: Vec<Ipv4Cidr>,
+    /// Offload RSA work to this willing customer (§3.2), if set.
+    pub offload_helper: Option<Ipv4Addr>,
+    /// DoS defense (§3.6), if enabled.
+    pub pushback: Option<PushbackConfig>,
+    /// Rotate the master key automatically at this interval (§4's
+    /// one-hour lifetime), if set.
+    pub key_lifetime: Option<std::time::Duration>,
+    /// Name prefix for statistics counters.
+    pub stats_name: String,
+}
+
+impl NeutralizerConfig {
+    /// A minimal config: anycast address + served domain.
+    pub fn new(anycast: Ipv4Addr, domain: Vec<Ipv4Cidr>) -> Self {
+        NeutralizerConfig {
+            anycast,
+            dyn_pool: Ipv4Cidr::new(Ipv4Addr::new(198, 19, 255, 0), 24),
+            domain,
+            offload_helper: None,
+            pushback: None,
+            key_lifetime: None,
+            stats_name: "neutralizer".to_string(),
+        }
+    }
+}
+
+/// The neutralizer node: border router + neutralization functions.
+pub struct NeutralizerNode {
+    config: NeutralizerConfig,
+    keys: MasterKeyEpochs,
+    routes: RouteTable,
+    pushback: Option<PushbackEngine>,
+    /// Ingress iface of the most recent flood aggregate (for upstream
+    /// pushback requests).
+    last_setup_iface: Option<IfaceId>,
+    /// Packets processed on the data path (forward + return).
+    pub data_packets: u64,
+    /// RSA encryptions performed (key setups served locally).
+    pub rsa_encryptions: u64,
+}
+
+impl NeutralizerNode {
+    /// Builds a neutralizer with the given master key material.
+    pub fn new(config: NeutralizerConfig, master_key: [u8; 16]) -> Self {
+        NeutralizerNode {
+            pushback: None, // armed in on_start (needs sim time)
+            keys: MasterKeyEpochs::new(master_key),
+            routes: RouteTable::new(),
+            last_setup_iface: None,
+            data_packets: 0,
+            rsa_encryptions: 0,
+            config,
+        }
+    }
+
+    /// Installs the forwarding table.
+    pub fn set_routes(&mut self, routes: RouteTable) {
+        self.routes = routes;
+    }
+
+    /// The epoch machinery (tests and harnesses).
+    pub fn keys(&self) -> &MasterKeyEpochs {
+        &self.keys
+    }
+
+    /// Forces a master-key rotation with the given material.
+    pub fn rotate_master_key(&mut self, key: [u8; 16]) {
+        self.keys.rotate(key);
+    }
+
+    /// The pushback engine, when enabled.
+    pub fn pushback(&self) -> Option<&PushbackEngine> {
+        self.pushback.as_ref()
+    }
+
+    fn stat(&self, ctx: &mut Context, suffix: &str) {
+        ctx.stats
+            .count(&format!("{}.{}", self.config.stats_name, suffix));
+    }
+
+    fn in_domain(&self, addr: Ipv4Addr) -> bool {
+        self.config.domain.iter().any(|p| p.contains(addr))
+    }
+
+    fn is_service_addr(&self, addr: Ipv4Addr) -> bool {
+        addr == self.config.anycast || self.config.dyn_pool.contains(addr)
+    }
+
+    fn route_out(&mut self, ctx: &mut Context, frame: Vec<u8>) {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else {
+            self.stat(ctx, "emit_parse_error");
+            return;
+        };
+        match self.routes.lookup(ip.dst_addr()) {
+            Some(iface) => ctx.send(iface, frame),
+            None => self.stat(ctx, "no_route"),
+        }
+    }
+
+    /// §3.2 key setup: one cheap RSA encryption (or an offload forward).
+    fn handle_key_setup(&mut self, ctx: &mut Context, iface: IfaceId, frame: &[u8]) {
+        let Ok(parsed) = parse_shim(frame) else {
+            self.stat(ctx, "setup_parse_error");
+            return;
+        };
+        self.last_setup_iface = Some(iface);
+        // Pushback admission runs BEFORE any cryptography: rejecting a
+        // flooded aggregate must cost hashes, not RSA.
+        if let Some(pb) = &mut self.pushback {
+            if !pb.admit(ctx.now, parsed.ip.src) {
+                self.stat(ctx, "setup_pushback_reject");
+                return;
+            }
+        }
+        let Ok((pubkey, _)) = RsaPublicKey::from_wire(parsed.payload) else {
+            self.stat(ctx, "setup_bad_pubkey");
+            return;
+        };
+        let nonce = self.keys.mint_nonce(ctx.rng);
+        let ks = self
+            .keys
+            .derive(nonce, parsed.ip.src)
+            .expect("minted nonce is current-epoch");
+
+        if let Some(helper) = self.config.offload_helper {
+            // §3.2 offload: stamp (nonce, Ks) into the request and forward
+            // to a willing customer, which performs the RSA encryption.
+            let mut payload = parsed.payload.to_vec();
+            payload.extend_from_slice(&parsed.ip.src.octets());
+            let shim = ShimRepr {
+                shim_type: ShimType::KeySetup,
+                flags: 0,
+                nonce,
+                addr_block: ShimRepr::EMPTY_BLOCK,
+                stamp: Some(KeyStamp { nonce, key: ks }),
+            };
+            if let Ok(out) = build_shim(self.config.anycast, helper, parsed.ip.dscp, &shim, &payload)
+            {
+                self.stat(ctx, "setup_offloaded");
+                self.route_out(ctx, out);
+            }
+            return;
+        }
+
+        // Local path: RSA-encrypt (nonce ‖ Ks) under the one-time key.
+        let mut msg = Vec::with_capacity(24);
+        msg.extend_from_slice(&nonce.to_be_bytes());
+        msg.extend_from_slice(&ks);
+        let Ok(ct) = pubkey.encrypt(ctx.rng, &msg) else {
+            self.stat(ctx, "setup_encrypt_fail");
+            return;
+        };
+        self.rsa_encryptions += 1;
+        self.stat(ctx, "setup_served");
+        let shim = ShimRepr {
+            shim_type: ShimType::KeyReply,
+            flags: 0,
+            nonce: 0,
+            addr_block: ShimRepr::EMPTY_BLOCK,
+            stamp: None,
+        };
+        if let Ok(out) = build_shim(self.config.anycast, parsed.ip.src, parsed.ip.dscp, &shim, &ct)
+        {
+            self.route_out(ctx, out);
+        }
+    }
+
+    /// Offload return leg: a helper's KeyReply carries the client address
+    /// in a plaintext block; rewrite to (anycast → client) and forward.
+    fn handle_key_reply_from_inside(&mut self, ctx: &mut Context, frame: &[u8]) {
+        let Ok(parsed) = parse_shim(frame) else {
+            self.stat(ctx, "reply_parse_error");
+            return;
+        };
+        let client = ShimRepr::addr_from_plain_block(&parsed.shim.addr_block);
+        let shim = ShimRepr {
+            shim_type: ShimType::KeyReply,
+            flags: 0,
+            nonce: 0,
+            addr_block: ShimRepr::EMPTY_BLOCK,
+            stamp: None,
+        };
+        if let Ok(out) = build_shim(self.config.anycast, client, parsed.ip.dscp, &shim, parsed.payload)
+        {
+            self.stat(ctx, "offload_reply_forwarded");
+            self.route_out(ctx, out);
+        }
+    }
+
+    /// §3.2 forward data path: derive Ks, open the sealed destination,
+    /// stamp a fresh key on request, rewrite, forward.
+    fn handle_data(&mut self, ctx: &mut Context, frame: &[u8]) {
+        let Ok(parsed) = parse_shim(frame) else {
+            self.stat(ctx, "data_parse_error");
+            return;
+        };
+        let Some(ks) = self.keys.derive(parsed.shim.nonce, parsed.ip.src) else {
+            self.stat(ctx, "data_expired_epoch");
+            return;
+        };
+        let sealer = AddrSealer::new(&ks);
+        let Ok(dst_raw) = sealer.open(parsed.shim.nonce, &parsed.shim.addr_block) else {
+            self.stat(ctx, "data_unseal_fail");
+            return;
+        };
+        let real_dst = Ipv4Addr(dst_raw);
+        if !self.in_domain(real_dst) {
+            // The neutralizer serves its own customers only (§3).
+            self.stat(ctx, "data_not_customer");
+            return;
+        }
+        self.data_packets += 1;
+        let stamp = if parsed.shim.flags & shim_flags::KEY_REQUEST != 0 {
+            let nonce2 = self.keys.mint_nonce(ctx.rng);
+            let ks2 = self
+                .keys
+                .derive(nonce2, parsed.ip.src)
+                .expect("minted nonce is current-epoch");
+            self.stat(ctx, "data_stamped");
+            Some(KeyStamp {
+                nonce: nonce2,
+                key: ks2,
+            })
+        } else {
+            None
+        };
+        let shim = ShimRepr {
+            shim_type: ShimType::Data,
+            flags: parsed.shim.flags & shim_flags::KEY_REQUEST,
+            nonce: parsed.shim.nonce,
+            addr_block: ShimRepr::EMPTY_BLOCK,
+            stamp,
+        };
+        // DSCP is preserved (§3.4): tiered service still works.
+        if let Ok(out) = build_shim(parsed.ip.src, real_dst, parsed.ip.dscp, &shim, parsed.payload)
+        {
+            self.stat(ctx, "data_forwarded");
+            self.route_out(ctx, out);
+        }
+    }
+
+    /// §3.2 return path: seal the customer's address under the key bound
+    /// to the *outside* initiator, hide the source behind the anycast (or
+    /// a dynamic QoS address, §3.4), forward.
+    fn handle_return(&mut self, ctx: &mut Context, frame: &[u8]) {
+        let Ok(parsed) = parse_shim(frame) else {
+            self.stat(ctx, "return_parse_error");
+            return;
+        };
+        if !self.in_domain(parsed.ip.src) {
+            self.stat(ctx, "return_not_customer");
+            return;
+        }
+        let initiator = ShimRepr::addr_from_plain_block(&parsed.shim.addr_block);
+        let Some(ks) = self.keys.derive(parsed.shim.nonce, initiator) else {
+            self.stat(ctx, "return_expired_epoch");
+            return;
+        };
+        self.data_packets += 1;
+        let sealer = AddrSealer::new(&ks);
+        let sealed = sealer.seal(parsed.shim.nonce, parsed.ip.src.to_u32());
+        let wants_dyn = parsed.shim.flags & shim_flags::DYN_ADDR != 0;
+        let visible_src = if wants_dyn {
+            qos::dynamic_address(
+                self.config.dyn_pool,
+                self.keys.current_key(),
+                parsed.ip.src,
+                parsed.shim.nonce,
+            )
+        } else {
+            self.config.anycast
+        };
+        let shim = ShimRepr {
+            shim_type: ShimType::Return,
+            flags: shim_flags::ANONYMIZED | (parsed.shim.flags & shim_flags::DYN_ADDR),
+            nonce: parsed.shim.nonce,
+            addr_block: sealed,
+            stamp: None,
+        };
+        if let Ok(out) = build_shim(visible_src, initiator, parsed.ip.dscp, &shim, parsed.payload) {
+            self.stat(ctx, "return_anonymized");
+            self.route_out(ctx, out);
+        }
+    }
+
+    /// §3.3 reverse-direction bootstrap: a customer inside the domain
+    /// fetches `(nonce, Ks)` in plaintext — it is inside the trust domain.
+    fn handle_key_fetch(&mut self, ctx: &mut Context, frame: &[u8]) {
+        let Ok(parsed) = parse_shim(frame) else {
+            self.stat(ctx, "fetch_parse_error");
+            return;
+        };
+        if !self.in_domain(parsed.ip.src) {
+            self.stat(ctx, "fetch_not_customer");
+            return;
+        }
+        let Ok(req) = KeyFetchReq::from_bytes(parsed.payload) else {
+            self.stat(ctx, "fetch_bad_request");
+            return;
+        };
+        let nonce = self.keys.mint_nonce(ctx.rng);
+        // Bound to the OUTSIDE address, so both directions derive the
+        // same key from packet headers alone.
+        let key = self
+            .keys
+            .derive(nonce, req.remote)
+            .expect("minted nonce is current-epoch");
+        let reply = KeyFetchReply {
+            nonce,
+            key,
+            remote: req.remote,
+        };
+        let shim = ShimRepr {
+            shim_type: ShimType::KeyFetchReply,
+            flags: 0,
+            nonce: 0,
+            addr_block: ShimRepr::EMPTY_BLOCK,
+            stamp: None,
+        };
+        if let Ok(out) = build_shim(
+            self.config.anycast,
+            parsed.ip.src,
+            parsed.ip.dscp,
+            &shim,
+            &reply.to_bytes(),
+        ) {
+            self.stat(ctx, "fetch_served");
+            self.route_out(ctx, out);
+        }
+    }
+}
+
+impl Node for NeutralizerNode {
+    fn on_start(&mut self, ctx: &mut Context) {
+        if let Some(cfg) = self.config.pushback {
+            self.pushback = Some(PushbackEngine::new(cfg, ctx.now));
+            ctx.set_timer(cfg.window, TOKEN_PUSHBACK_TICK);
+        }
+        if let Some(lifetime) = self.config.key_lifetime {
+            ctx.set_timer(lifetime, TOKEN_KEY_ROTATION);
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: Vec<u8>) {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else {
+            self.stat(ctx, "parse_error");
+            return;
+        };
+        let (src, dst, protocol) = (ip.src_addr(), ip.dst_addr(), ip.protocol());
+        if protocol != nn_packet::proto::SHIM {
+            // Plain traffic transits the border router untouched (§3.4's
+            // opt-out: the neutralizer service is optional).
+            self.stat(ctx, "transit");
+            self.route_out(ctx, frame);
+            return;
+        }
+        let Ok(shim_view) = nn_packet::ShimPacket::new_checked(&frame[20..]) else {
+            self.stat(ctx, "shim_parse_error");
+            return;
+        };
+        match shim_view.shim_type() {
+            ShimType::KeySetup if self.is_service_addr(dst) => {
+                self.handle_key_setup(ctx, iface, &frame)
+            }
+            ShimType::KeyReply if self.in_domain(src) => {
+                self.handle_key_reply_from_inside(ctx, &frame)
+            }
+            ShimType::Data if self.is_service_addr(dst) => self.handle_data(ctx, &frame),
+            ShimType::Return if self.is_service_addr(dst) => self.handle_return(ctx, &frame),
+            ShimType::KeyFetch if self.is_service_addr(dst) => self.handle_key_fetch(ctx, &frame),
+            _ => {
+                // Shim traffic in transit (e.g. toward some other domain's
+                // neutralizer, or replies flowing outward).
+                self.stat(ctx, "shim_transit");
+                self.route_out(ctx, frame);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, token: u64) {
+        match token {
+            TOKEN_PUSHBACK_TICK => {
+                let Some(pb) = &mut self.pushback else { return };
+                let window = pb.config().window;
+                let flagged = pb.tick(ctx.now);
+                let limit_bps = (pb.config().limit_pps * 8.0 * 120.0) as u64; // ~120B setup frames
+                let release = pb.config().release_after;
+                for prefix in flagged {
+                    self.stat(ctx, "pushback_flagged");
+                    // Ask upstream to police the aggregate (§3.6).
+                    if let Some(iface) = self.last_setup_iface {
+                        let msg = PushbackMsg {
+                            prefix: prefix.addr,
+                            prefix_len: prefix.prefix_len,
+                            rate_bps: limit_bps.max(1),
+                            duration_ns: release.as_nanos() as u64,
+                        };
+                        let shim = ShimRepr {
+                            shim_type: ShimType::Pushback,
+                            flags: 0,
+                            nonce: 0,
+                            addr_block: ShimRepr::EMPTY_BLOCK,
+                            stamp: None,
+                        };
+                        // Addressed link-locally to the upstream neighbor;
+                        // PushbackRouterNode intercepts by type.
+                        if let Ok(out) = build_shim(
+                            self.config.anycast,
+                            Ipv4Addr::new(255, 255, 255, 255),
+                            0,
+                            &shim,
+                            &msg.to_bytes(),
+                        ) {
+                            ctx.send(iface, out);
+                        }
+                    }
+                }
+                ctx.set_timer(window, TOKEN_PUSHBACK_TICK);
+            }
+            TOKEN_KEY_ROTATION => {
+                let fresh: [u8; 16] = ctx.rng.gen();
+                self.keys.rotate(fresh);
+                self.stat(ctx, "key_rotated");
+                if let Some(lifetime) = self.config.key_lifetime {
+                    ctx.set_timer(lifetime, TOKEN_KEY_ROTATION);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn epoch_nonce_carries_epoch_byte() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut keys = MasterKeyEpochs::new([1u8; 16]);
+        assert_eq!(keys.mint_nonce(&mut rng) >> 56, 0);
+        keys.rotate([2u8; 16]);
+        assert_eq!(keys.mint_nonce(&mut rng) >> 56, 1);
+        assert_eq!(keys.current_epoch(), 1);
+    }
+
+    #[test]
+    fn derive_honors_epochs_with_grace() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut keys = MasterKeyEpochs::new([1u8; 16]);
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let old_nonce = keys.mint_nonce(&mut rng);
+        let old_key = keys.derive(old_nonce, src).unwrap();
+
+        keys.rotate([2u8; 16]);
+        // Grace: previous epoch still derivable, same value.
+        assert_eq!(keys.derive(old_nonce, src), Some(old_key));
+        let new_nonce = keys.mint_nonce(&mut rng);
+        assert!(keys.derive(new_nonce, src).is_some());
+
+        keys.rotate([3u8; 16]);
+        // Two rotations later the original epoch is dead.
+        assert_eq!(keys.derive(old_nonce, src), None);
+    }
+
+    #[test]
+    fn derive_rejects_future_epochs() {
+        let keys = MasterKeyEpochs::new([1u8; 16]);
+        let forged = (7u64 << 56) | 12345;
+        assert_eq!(keys.derive(forged, Ipv4Addr::new(1, 2, 3, 4)), None);
+    }
+
+    #[test]
+    fn stateless_derivation_is_reproducible() {
+        // Two "boxes" sharing KM derive identical keys — the anycast
+        // fault-tolerance property of §3.2.
+        let a = MasterKeyEpochs::new([9u8; 16]);
+        let b = MasterKeyEpochs::new([9u8; 16]);
+        let src = Ipv4Addr::new(66, 1, 2, 3);
+        assert_eq!(a.derive(42, src), b.derive(42, src));
+    }
+}

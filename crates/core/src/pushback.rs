@@ -1,0 +1,294 @@
+//! Pushback: aggregate-based DoS defense for the key-setup path.
+//!
+//! §3.6 of the paper: the RSA encryption in key setup is the neutralizer's
+//! expensive operation; attackers flooding key-setup packets can overload
+//! it. The paper points at *pushback* (Mahajan et al., CCR 2002) —
+//! identify high-bandwidth aggregates, rate-limit them locally, and ask
+//! upstream routers to do the same — and notes it "does not rely on source
+//! addresses to filter attack traffic", which matters because the
+//! neutralizer's own anonymization can hide attack sources.
+//!
+//! This module implements the local half (aggregate identification +
+//! rate-limiting *before* any RSA work is spent) and emits upstream
+//! requests that [`crate::plain::PushbackRouterNode`] honors.
+
+use nn_netsim::SimTime;
+use nn_packet::{Ipv4Addr, Ipv4Cidr};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Tuning for the pushback engine.
+#[derive(Debug, Clone, Copy)]
+pub struct PushbackConfig {
+    /// Total key-setup rate (packets/sec) the neutralizer is willing to
+    /// spend RSA cycles on.
+    pub setup_rate_threshold_pps: f64,
+    /// Aggregates are source prefixes of this length.
+    pub aggregate_prefix_len: u8,
+    /// Measurement window.
+    pub window: Duration,
+    /// Per-aggregate cap once the aggregate is flagged.
+    pub limit_pps: f64,
+    /// Flagged aggregates are released after this long without re-flagging.
+    pub release_after: Duration,
+}
+
+impl Default for PushbackConfig {
+    fn default() -> Self {
+        PushbackConfig {
+            setup_rate_threshold_pps: 1000.0,
+            aggregate_prefix_len: 24,
+            window: Duration::from_millis(100),
+            limit_pps: 50.0,
+            release_after: Duration::from_secs(5),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct ActiveLimit {
+    until: SimTime,
+    allowance: f64,
+    last_refill: SimTime,
+}
+
+/// The aggregate-based admission controller.
+#[derive(Debug)]
+pub struct PushbackEngine {
+    config: PushbackConfig,
+    window_start: SimTime,
+    counts: HashMap<u32, u64>,
+    limits: HashMap<u32, ActiveLimit>,
+    /// Key setups admitted to the RSA stage.
+    pub admitted: u64,
+    /// Key setups rejected by an aggregate limit.
+    pub rejected: u64,
+}
+
+impl PushbackEngine {
+    /// Builds an engine starting its first window at `now`.
+    pub fn new(config: PushbackConfig, now: SimTime) -> Self {
+        PushbackEngine {
+            config,
+            window_start: now,
+            counts: HashMap::new(),
+            limits: HashMap::new(),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    fn prefix_of(&self, src: Ipv4Addr) -> u32 {
+        let len = self.config.aggregate_prefix_len as u32;
+        if len == 0 {
+            0
+        } else {
+            src.to_u32() & (u32::MAX << (32 - len))
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &PushbackConfig {
+        &self.config
+    }
+
+    /// Admission check for one key-setup packet. Cheap (hash + compare) —
+    /// the entire point is to run this *before* the RSA encryption.
+    pub fn admit(&mut self, now: SimTime, src: Ipv4Addr) -> bool {
+        let prefix = self.prefix_of(src);
+        *self.counts.entry(prefix).or_insert(0) += 1;
+        if let Some(limit) = self.limits.get_mut(&prefix) {
+            if now < limit.until {
+                // Token-style allowance at limit_pps.
+                let dt = (now - limit.last_refill).as_secs_f64();
+                limit.allowance = (limit.allowance + dt * self.config.limit_pps)
+                    .min(self.config.limit_pps * self.config.window.as_secs_f64() + 1.0);
+                limit.last_refill = now;
+                if limit.allowance >= 1.0 {
+                    limit.allowance -= 1.0;
+                    self.admitted += 1;
+                    return true;
+                }
+                self.rejected += 1;
+                return false;
+            }
+            self.limits.remove(&prefix);
+        }
+        self.admitted += 1;
+        true
+    }
+
+    /// Closes the current measurement window: flags the highest-rate
+    /// aggregates until the residual total fits the threshold. Returns the
+    /// newly flagged aggregates (for upstream pushback requests).
+    pub fn tick(&mut self, now: SimTime) -> Vec<Ipv4Cidr> {
+        let window_secs = (now - self.window_start).as_secs_f64().max(1e-9);
+        self.window_start = now;
+        let counts = std::mem::take(&mut self.counts);
+        let total_rate: f64 = counts.values().map(|&c| c as f64).sum::<f64>() / window_secs;
+        let mut newly_flagged = Vec::new();
+        if total_rate > self.config.setup_rate_threshold_pps {
+            // Highest-rate aggregates first (deterministic order).
+            let mut by_rate: Vec<(u32, u64)> = counts.into_iter().collect();
+            by_rate.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            let mut residual = total_rate;
+            for (prefix, count) in by_rate {
+                if residual <= self.config.setup_rate_threshold_pps {
+                    break;
+                }
+                let rate = count as f64 / window_secs;
+                // Never flag an aggregate already inside its fair share.
+                if rate <= self.config.limit_pps {
+                    break;
+                }
+                residual -= rate - self.config.limit_pps;
+                let is_new = !self.limits.contains_key(&prefix);
+                self.limits.insert(
+                    prefix,
+                    ActiveLimit {
+                        until: now + self.config.release_after,
+                        allowance: 0.0,
+                        last_refill: now,
+                    },
+                );
+                if is_new {
+                    newly_flagged.push(Ipv4Cidr::new(
+                        Ipv4Addr(prefix),
+                        self.config.aggregate_prefix_len,
+                    ));
+                }
+            }
+        }
+        // Expire stale limits.
+        self.limits.retain(|_, l| l.until > now);
+        newly_flagged
+    }
+
+    /// Number of currently flagged aggregates.
+    pub fn active_limits(&self) -> usize {
+        self.limits.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PushbackConfig {
+        PushbackConfig {
+            setup_rate_threshold_pps: 100.0,
+            aggregate_prefix_len: 24,
+            window: Duration::from_millis(100),
+            limit_pps: 10.0,
+            release_after: Duration::from_secs(1),
+        }
+    }
+
+    fn attacker(i: u8) -> Ipv4Addr {
+        Ipv4Addr::new(66, 6, 6, i)
+    }
+
+    const LEGIT: Ipv4Addr = Ipv4Addr::new(10, 9, 8, 7);
+
+    #[test]
+    fn under_threshold_everything_admitted() {
+        let mut pb = PushbackEngine::new(cfg(), SimTime::ZERO);
+        for i in 0..5 {
+            assert!(pb.admit(SimTime::from_millis(i * 10), attacker(i as u8)));
+        }
+        let flagged = pb.tick(SimTime::from_millis(100));
+        assert!(flagged.is_empty(), "5 packets in 100ms = 50 pps < 100 pps");
+        assert_eq!(pb.active_limits(), 0);
+    }
+
+    #[test]
+    fn flood_flags_the_attacking_aggregate_only() {
+        let mut pb = PushbackEngine::new(cfg(), SimTime::ZERO);
+        // 50 attack packets (one /24) + 2 legit (different /24) in 100 ms
+        // => 520 pps total, attack aggregate at 500 pps.
+        for i in 0..50u64 {
+            pb.admit(SimTime::from_millis(i * 2), attacker(200));
+        }
+        pb.admit(SimTime::from_millis(3), LEGIT);
+        pb.admit(SimTime::from_millis(77), LEGIT);
+        let flagged = pb.tick(SimTime::from_millis(100));
+        assert_eq!(flagged.len(), 1);
+        assert!(flagged[0].contains(attacker(200)));
+        assert!(!flagged[0].contains(LEGIT));
+
+        // After flagging: attacker heavily limited, legit unaffected.
+        let mut attacker_admitted = 0;
+        for i in 0..100u64 {
+            if pb.admit(SimTime::from_millis(101 + i), attacker(200)) {
+                attacker_admitted += 1;
+            }
+        }
+        assert!(
+            attacker_admitted <= 3,
+            "flagged aggregate must be throttled, got {attacker_admitted}"
+        );
+        assert!(pb.admit(SimTime::from_millis(150), LEGIT));
+    }
+
+    #[test]
+    fn limits_expire_after_release_window() {
+        let mut pb = PushbackEngine::new(cfg(), SimTime::ZERO);
+        for i in 0..50u64 {
+            pb.admit(SimTime::from_millis(i), attacker(1));
+        }
+        assert_eq!(pb.tick(SimTime::from_millis(100)).len(), 1);
+        assert_eq!(pb.active_limits(), 1);
+        // Quiet period past release_after: tick drops the limit.
+        pb.tick(SimTime::from_millis(1200));
+        assert_eq!(pb.active_limits(), 0);
+        assert!(pb.admit(SimTime::from_millis(1300), attacker(1)));
+    }
+
+    #[test]
+    fn reflagging_is_not_reported_twice() {
+        let mut pb = PushbackEngine::new(cfg(), SimTime::ZERO);
+        for i in 0..50u64 {
+            pb.admit(SimTime::from_millis(i), attacker(1));
+        }
+        assert_eq!(pb.tick(SimTime::from_millis(100)).len(), 1);
+        for i in 0..50u64 {
+            pb.admit(SimTime::from_millis(101 + i), attacker(1));
+        }
+        // Same aggregate still misbehaving: limit refreshed, not re-announced.
+        assert!(pb.tick(SimTime::from_millis(200)).is_empty());
+        assert_eq!(pb.active_limits(), 1);
+    }
+
+    #[test]
+    fn distributed_attack_flags_multiple_aggregates() {
+        let mut pb = PushbackEngine::new(cfg(), SimTime::ZERO);
+        // Three /24s each at 300 pps.
+        for i in 0..30u64 {
+            for net in 0..3u8 {
+                pb.admit(
+                    SimTime::from_millis(i * 3),
+                    Ipv4Addr::new(66, net, 0, (i % 256) as u8),
+                );
+            }
+        }
+        let flagged = pb.tick(SimTime::from_millis(100));
+        assert!(
+            flagged.len() >= 2,
+            "multiple aggregates must be flagged, got {flagged:?}"
+        );
+    }
+
+    #[test]
+    fn counters_track_decisions() {
+        let mut pb = PushbackEngine::new(cfg(), SimTime::ZERO);
+        for i in 0..50u64 {
+            pb.admit(SimTime::from_millis(i), attacker(1));
+        }
+        pb.tick(SimTime::from_millis(100));
+        for i in 0..10u64 {
+            pb.admit(SimTime::from_millis(101 + i), attacker(1));
+        }
+        assert_eq!(pb.admitted + pb.rejected, 60);
+        assert!(pb.rejected >= 7);
+    }
+}

@@ -1,0 +1,297 @@
+//! Application-layer framing inside neutralized packets.
+//!
+//! The shim payload of a `Data`/`Return` packet is end-to-end encrypted
+//! (§3.1). Two framings appear on the wire:
+//!
+//! * the **first** packet to a peer carries a public-key
+//!   [`E2eEnvelope`] (tag 0x01) that also transports the session key;
+//! * every later packet carries a symmetric [`E2eRecord`] (tag 0x02).
+//!
+//! Inside the encrypted plaintext sits one more layer, [`InnerPayload`]:
+//! an optional key-rollover stamp — this is how the destination returns
+//! the neutralizer-stamped `(nonce', Ks')` to the source under strong
+//! encryption (§3.2) — followed by the application bytes.
+
+use nn_crypto::{CryptoError, E2eEnvelope, E2eRecord};
+use nn_packet::KeyStamp;
+
+/// Tag byte for an envelope (first packet).
+const TAG_ENVELOPE: u8 = 0x01;
+/// Tag byte for a session record.
+const TAG_RECORD: u8 = 0x02;
+
+/// The encrypted transport message carried in a shim payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportMsg {
+    /// Public-key first packet.
+    Envelope(E2eEnvelope),
+    /// Symmetric follow-up packet.
+    Record(E2eRecord),
+}
+
+impl TransportMsg {
+    /// Serializes with a leading tag byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            TransportMsg::Envelope(env) => {
+                let mut out = vec![TAG_ENVELOPE];
+                out.extend_from_slice(&env.to_bytes());
+                out
+            }
+            TransportMsg::Record(rec) => {
+                let mut out = vec![TAG_RECORD];
+                out.extend_from_slice(&rec.to_bytes());
+                out
+            }
+        }
+    }
+
+    /// Parses a tagged message.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        match data.split_first() {
+            Some((&TAG_ENVELOPE, rest)) => Ok(TransportMsg::Envelope(E2eEnvelope::from_bytes(rest)?)),
+            Some((&TAG_RECORD, rest)) => Ok(TransportMsg::Record(E2eRecord::from_bytes(rest)?)),
+            _ => Err(CryptoError::BadLength),
+        }
+    }
+}
+
+/// The plaintext inside the end-to-end encryption.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InnerPayload {
+    /// Key rollover returned by the destination (§3.2): the fresh
+    /// `(nonce', Ks')` the neutralizer stamped onto a key-request packet.
+    pub rekey: Option<KeyStamp>,
+    /// Application bytes.
+    pub app: Vec<u8>,
+}
+
+impl InnerPayload {
+    /// Pure application data.
+    pub fn data(app: Vec<u8>) -> Self {
+        InnerPayload { rekey: None, app }
+    }
+
+    /// Serializes: `has_rekey(1) [nonce(8) key(16)] app...`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + 24 + self.app.len());
+        match &self.rekey {
+            Some(stamp) => {
+                out.push(1);
+                out.extend_from_slice(&stamp.nonce.to_be_bytes());
+                out.extend_from_slice(&stamp.key);
+            }
+            None => out.push(0),
+        }
+        out.extend_from_slice(&self.app);
+        out
+    }
+
+    /// Parses.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        match data.split_first() {
+            Some((0, rest)) => Ok(InnerPayload {
+                rekey: None,
+                app: rest.to_vec(),
+            }),
+            Some((1, rest)) => {
+                if rest.len() < 24 {
+                    return Err(CryptoError::BadLength);
+                }
+                let nonce = u64::from_be_bytes(rest[..8].try_into().unwrap());
+                let key: [u8; 16] = rest[8..24].try_into().unwrap();
+                Ok(InnerPayload {
+                    rekey: Some(KeyStamp { nonce, key }),
+                    app: rest[24..].to_vec(),
+                })
+            }
+            _ => Err(CryptoError::BadLength),
+        }
+    }
+}
+
+/// Payload of a `KeyFetch` request (§3.3): the outside address the inside
+/// customer wants to talk to, so the neutralizer can bind `Ks` to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyFetchReq {
+    /// The outside destination.
+    pub remote: nn_packet::Ipv4Addr,
+}
+
+impl KeyFetchReq {
+    /// Serializes (4 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.remote.octets().to_vec()
+    }
+
+    /// Parses.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        if data.len() != 4 {
+            return Err(CryptoError::BadLength);
+        }
+        Ok(KeyFetchReq {
+            remote: nn_packet::Ipv4Addr::new(data[0], data[1], data[2], data[3]),
+        })
+    }
+}
+
+/// Payload of a `KeyFetchReply` (§3.3): plaintext `(nonce, Ks)` — safe
+/// because it never leaves the neutral domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyFetchReply {
+    /// The session nonce.
+    pub nonce: u64,
+    /// The symmetric key bound to (nonce, remote).
+    pub key: [u8; 16],
+    /// Echo of the remote the key is bound to.
+    pub remote: nn_packet::Ipv4Addr,
+}
+
+impl KeyFetchReply {
+    /// Serializes (28 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28);
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(&self.remote.octets());
+        out
+    }
+
+    /// Parses.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        if data.len() != 28 {
+            return Err(CryptoError::BadLength);
+        }
+        Ok(KeyFetchReply {
+            nonce: u64::from_be_bytes(data[..8].try_into().unwrap()),
+            key: data[8..24].try_into().unwrap(),
+            remote: nn_packet::Ipv4Addr::new(data[24], data[25], data[26], data[27]),
+        })
+    }
+}
+
+/// Payload of a `Pushback` control frame (§3.6): ask the upstream router
+/// to police an aggregate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushbackMsg {
+    /// Aggregate prefix address.
+    pub prefix: nn_packet::Ipv4Addr,
+    /// Aggregate prefix length.
+    pub prefix_len: u8,
+    /// Policing rate, bits/second.
+    pub rate_bps: u64,
+    /// How long the limit should stay installed, nanoseconds.
+    pub duration_ns: u64,
+}
+
+impl PushbackMsg {
+    /// Serializes (21 bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21);
+        out.extend_from_slice(&self.prefix.octets());
+        out.push(self.prefix_len);
+        out.extend_from_slice(&self.rate_bps.to_be_bytes());
+        out.extend_from_slice(&self.duration_ns.to_be_bytes());
+        out
+    }
+
+    /// Parses.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
+        if data.len() != 21 {
+            return Err(CryptoError::BadLength);
+        }
+        Ok(PushbackMsg {
+            prefix: nn_packet::Ipv4Addr::new(data[0], data[1], data[2], data[3]),
+            prefix_len: data[4],
+            rate_bps: u64::from_be_bytes(data[5..13].try_into().unwrap()),
+            duration_ns: u64::from_be_bytes(data[13..21].try_into().unwrap()),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_packet::Ipv4Addr;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn transport_msg_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let kp = nn_crypto::generate_keypair(&mut rng, 256);
+        let env = nn_crypto::e2e::seal(&mut rng, &kp.public, b"first").unwrap();
+        let m = TransportMsg::Envelope(env);
+        assert_eq!(TransportMsg::from_bytes(&m.to_bytes()).unwrap(), m);
+
+        let mut sess = nn_crypto::E2eSession::new(&[7u8; 16], true);
+        let rec = sess.seal_record(b"later");
+        let m2 = TransportMsg::Record(rec);
+        assert_eq!(TransportMsg::from_bytes(&m2.to_bytes()).unwrap(), m2);
+    }
+
+    #[test]
+    fn transport_msg_bad_tag_rejected() {
+        assert!(TransportMsg::from_bytes(&[]).is_err());
+        assert!(TransportMsg::from_bytes(&[0x07, 1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn inner_payload_roundtrip() {
+        let plain = InnerPayload::data(b"voice frame".to_vec());
+        assert_eq!(InnerPayload::from_bytes(&plain.to_bytes()).unwrap(), plain);
+
+        let with_rekey = InnerPayload {
+            rekey: Some(KeyStamp {
+                nonce: 0x1122334455667788,
+                key: [9u8; 16],
+            }),
+            app: b"reply".to_vec(),
+        };
+        assert_eq!(
+            InnerPayload::from_bytes(&with_rekey.to_bytes()).unwrap(),
+            with_rekey
+        );
+    }
+
+    #[test]
+    fn inner_payload_truncation_rejected() {
+        let with_rekey = InnerPayload {
+            rekey: Some(KeyStamp { nonce: 1, key: [0; 16] }),
+            app: vec![],
+        };
+        let bytes = with_rekey.to_bytes();
+        assert!(InnerPayload::from_bytes(&bytes[..10]).is_err());
+        assert!(InnerPayload::from_bytes(&[]).is_err());
+        assert!(InnerPayload::from_bytes(&[9]).is_err());
+    }
+
+    #[test]
+    fn key_fetch_roundtrips() {
+        let req = KeyFetchReq {
+            remote: Ipv4Addr::new(8, 8, 4, 4),
+        };
+        assert_eq!(KeyFetchReq::from_bytes(&req.to_bytes()).unwrap(), req);
+        assert!(KeyFetchReq::from_bytes(&[1, 2, 3]).is_err());
+
+        let reply = KeyFetchReply {
+            nonce: 42,
+            key: [3u8; 16],
+            remote: Ipv4Addr::new(8, 8, 4, 4),
+        };
+        assert_eq!(KeyFetchReply::from_bytes(&reply.to_bytes()).unwrap(), reply);
+        assert!(KeyFetchReply::from_bytes(&reply.to_bytes()[..27]).is_err());
+    }
+
+    #[test]
+    fn pushback_roundtrip() {
+        let msg = PushbackMsg {
+            prefix: Ipv4Addr::new(10, 66, 0, 0),
+            prefix_len: 16,
+            rate_bps: 1_000_000,
+            duration_ns: 5_000_000_000,
+        };
+        assert_eq!(PushbackMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        assert!(PushbackMsg::from_bytes(&msg.to_bytes()[..20]).is_err());
+    }
+}

@@ -1,0 +1,342 @@
+//! AES-128 block cipher.
+//!
+//! §4 of the paper: "Our implementation uses 128-bit AES for both hashing
+//! and encryption/decryption." AES therefore sits on the data-path hot loop
+//! (experiments T2/T3): one keyed-hash (CMAC) plus one block operation per
+//! neutralized packet.
+//!
+//! The S-boxes are derived at first use from the GF(2^8) definition rather
+//! than transcribed, and the implementation is validated against the
+//! FIPS-197 appendix vectors in the tests below.
+
+use std::sync::OnceLock;
+
+/// Forward and inverse S-boxes, computed once.
+struct Tables {
+    sbox: [u8; 256],
+    inv_sbox: [u8; 256],
+}
+
+fn tables() -> &'static Tables {
+    static TABLES: OnceLock<Tables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut sbox = [0u8; 256];
+        let mut inv_sbox = [0u8; 256];
+        for i in 0..256u16 {
+            let x = gf_inv(i as u8);
+            let b = x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
+            sbox[i as usize] = b;
+            inv_sbox[b as usize] = i as u8;
+        }
+        Tables { sbox, inv_sbox }
+    })
+}
+
+/// GF(2^8) multiplication with the AES polynomial x^8+x^4+x^3+x+1.
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// GF(2^8) inverse via a^254 (a^(2^8-2)); inv(0) is defined as 0.
+fn gf_inv(a: u8) -> u8 {
+    if a == 0 {
+        return 0;
+    }
+    let mut result = 1u8;
+    let mut base = a;
+    let mut e = 254u16;
+    while e > 0 {
+        if e & 1 != 0 {
+            result = gf_mul(result, base);
+        }
+        base = gf_mul(base, base);
+        e >>= 1;
+    }
+    result
+}
+
+#[inline]
+fn xtime(a: u8) -> u8 {
+    (a << 1) ^ (((a >> 7) & 1) * 0x1b)
+}
+
+/// AES-128 with a precomputed key schedule.
+///
+/// The state layout is the FIPS-197 byte order: byte `i` of a block is
+/// state column `i / 4`, row `i % 4`.
+#[derive(Clone)]
+pub struct Aes128 {
+    /// 11 round keys × 16 bytes, flattened.
+    round_keys: [u8; 176],
+}
+
+impl core::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("Aes128(<key schedule>)")
+    }
+}
+
+impl Aes128 {
+    /// Expands a 128-bit key into the 11 round keys.
+    pub fn new(key: &[u8; 16]) -> Self {
+        const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+        let sbox = &tables().sbox;
+        let mut rk = [0u8; 176];
+        rk[..16].copy_from_slice(key);
+        for i in 4..44 {
+            let mut temp = [
+                rk[(i - 1) * 4],
+                rk[(i - 1) * 4 + 1],
+                rk[(i - 1) * 4 + 2],
+                rk[(i - 1) * 4 + 3],
+            ];
+            if i % 4 == 0 {
+                // RotWord then SubWord then Rcon.
+                temp = [
+                    sbox[temp[1] as usize] ^ RCON[i / 4 - 1],
+                    sbox[temp[2] as usize],
+                    sbox[temp[3] as usize],
+                    sbox[temp[0] as usize],
+                ];
+            }
+            for j in 0..4 {
+                rk[i * 4 + j] = rk[(i - 4) * 4 + j] ^ temp[j];
+            }
+        }
+        Aes128 { round_keys: rk }
+    }
+
+    #[inline]
+    fn add_round_key(&self, state: &mut [u8; 16], round: usize) {
+        let rk = &self.round_keys[round * 16..round * 16 + 16];
+        for i in 0..16 {
+            state[i] ^= rk[i];
+        }
+    }
+
+    /// Encrypts one block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let sbox = &tables().sbox;
+        self.add_round_key(block, 0);
+        for round in 1..10 {
+            sub_bytes(block, sbox);
+            shift_rows(block);
+            mix_columns(block);
+            self.add_round_key(block, round);
+        }
+        sub_bytes(block, sbox);
+        shift_rows(block);
+        self.add_round_key(block, 10);
+    }
+
+    /// Decrypts one block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; 16]) {
+        let inv = &tables().inv_sbox;
+        self.add_round_key(block, 10);
+        for round in (1..10).rev() {
+            inv_shift_rows(block);
+            sub_bytes(block, inv);
+            self.add_round_key(block, round);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        sub_bytes(block, inv);
+        self.add_round_key(block, 0);
+    }
+
+    /// Encrypts a copy of the block (convenience for keystream generation).
+    #[inline]
+    pub fn encrypt_copy(&self, block: &[u8; 16]) -> [u8; 16] {
+        let mut b = *block;
+        self.encrypt_block(&mut b);
+        b
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; 16], table: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = table[*b as usize];
+    }
+}
+
+/// Row `r` rotates left by `r`; with the flat column-major layout,
+/// new[4c + r] = old[4((c + r) mod 4) + r].
+#[inline]
+fn shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for c in 0..4 {
+        for r in 1..4 {
+            state[4 * c + r] = old[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; 16]) {
+    let old = *state;
+    for c in 0..4 {
+        for r in 1..4 {
+            state[4 * ((c + r) % 4) + r] = old[4 * c + r];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        let u = col[0];
+        let c01 = xtime(col[0] ^ col[1]);
+        let c12 = xtime(col[1] ^ col[2]);
+        let c23 = xtime(col[2] ^ col[3]);
+        let c30 = xtime(col[3] ^ u);
+        col[0] ^= t ^ c01;
+        col[1] ^= t ^ c12;
+        col[2] ^= t ^ c23;
+        col[3] ^= t ^ c30;
+    }
+}
+
+/// InvMixColumns via the standard decomposition: a pre-transform by
+/// {04,04} on (a0,a2)/(a1,a3) pairs followed by the forward MixColumns.
+#[inline]
+fn inv_mix_columns(state: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = &mut state[4 * c..4 * c + 4];
+        let u = xtime(xtime(col[0] ^ col[2]));
+        let v = xtime(xtime(col[1] ^ col[3]));
+        col[0] ^= u;
+        col[2] ^= u;
+        col[1] ^= v;
+        col[3] ^= v;
+    }
+    mix_columns(state);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn block(s: &str) -> [u8; 16] {
+        hex(s).try_into().unwrap()
+    }
+
+    #[test]
+    fn sbox_known_entries() {
+        let t = tables();
+        assert_eq!(t.sbox[0x00], 0x63);
+        assert_eq!(t.sbox[0x01], 0x7c);
+        assert_eq!(t.sbox[0x53], 0xed);
+        assert_eq!(t.inv_sbox[0x63], 0x00);
+        assert_eq!(t.inv_sbox[0xed], 0x53);
+        // S-box is a permutation.
+        let mut seen = [false; 256];
+        for &b in t.sbox.iter() {
+            assert!(!seen[b as usize]);
+            seen[b as usize] = true;
+        }
+    }
+
+    #[test]
+    fn gf_mul_known() {
+        // FIPS-197 §4.2: {57} * {83} = {c1}, {57} * {13} = {fe}.
+        assert_eq!(gf_mul(0x57, 0x83), 0xc1);
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x00, 0xff), 0x00);
+        assert_eq!(gf_mul(0x01, 0xab), 0xab);
+    }
+
+    #[test]
+    fn gf_inv_is_inverse() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a:#x}");
+        }
+        assert_eq!(gf_inv(0), 0);
+    }
+
+    #[test]
+    fn fips197_appendix_b() {
+        let aes = Aes128::new(&block("2b7e151628aed2a6abf7158809cf4f3c"));
+        let mut b = block("3243f6a8885a308d313198a2e0370734");
+        aes.encrypt_block(&mut b);
+        assert_eq!(b, block("3925841d02dc09fbdc118597196a0b32"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        let aes = Aes128::new(&block("000102030405060708090a0b0c0d0e0f"));
+        let mut b = block("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut b);
+        assert_eq!(b, block("69c4e0d86a7b0430d8cdb78070b4c55a"));
+        aes.decrypt_block(&mut b);
+        assert_eq!(b, block("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn shift_rows_inverse() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let orig = s;
+        shift_rows(&mut s);
+        assert_ne!(s, orig);
+        inv_shift_rows(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn mix_columns_inverse() {
+        let mut s: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(37).wrapping_add(11));
+        let orig = s;
+        mix_columns(&mut s);
+        assert_ne!(s, orig);
+        inv_mix_columns(&mut s);
+        assert_eq!(s, orig);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let a1 = Aes128::new(&[0u8; 16]);
+        let a2 = Aes128::new(&[1u8; 16]);
+        let b = [0x42u8; 16];
+        assert_ne!(a1.encrypt_copy(&b), a2.encrypt_copy(&b));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_encrypt_decrypt_roundtrip(key in any::<[u8;16]>(), data in any::<[u8;16]>()) {
+            let aes = Aes128::new(&key);
+            let mut b = data;
+            aes.encrypt_block(&mut b);
+            aes.decrypt_block(&mut b);
+            prop_assert_eq!(b, data);
+        }
+
+        #[test]
+        fn prop_encryption_is_permutation(key in any::<[u8;16]>(), d1 in any::<[u8;16]>(), d2 in any::<[u8;16]>()) {
+            prop_assume!(d1 != d2);
+            let aes = Aes128::new(&key);
+            prop_assert_ne!(aes.encrypt_copy(&d1), aes.encrypt_copy(&d2));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! AES-CMAC (RFC 4493).
+//!
+//! The paper's neutralizer derives the per-source symmetric key as
+//! `Ks = hash(KM, nonce, srcIP)` (§3.2) using "128-bit AES for both hashing
+//! and encryption" (§4). CMAC is exactly that: a keyed hash built from the
+//! AES block cipher, so one CMAC invocation costs a couple of AES block
+//! operations — the cost model the evaluation depends on.
+
+use crate::aes::Aes128;
+
+/// Doubling in GF(2^128) with the CMAC polynomial constant 0x87.
+fn dbl(block: &[u8; 16]) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    let mut carry = 0u8;
+    for i in (0..16).rev() {
+        let b = block[i];
+        out[i] = (b << 1) | carry;
+        carry = b >> 7;
+    }
+    if carry != 0 {
+        out[15] ^= 0x87;
+    }
+    out
+}
+
+/// AES-CMAC context with precomputed subkeys.
+#[derive(Clone)]
+pub struct Cmac {
+    cipher: Aes128,
+    k1: [u8; 16],
+    k2: [u8; 16],
+}
+
+impl core::fmt::Debug for Cmac {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("Cmac(<subkeys>)")
+    }
+}
+
+impl Cmac {
+    /// Derives the CMAC subkeys from an AES-128 key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        let cipher = Aes128::new(key);
+        let l = cipher.encrypt_copy(&[0u8; 16]);
+        let k1 = dbl(&l);
+        let k2 = dbl(&k1);
+        Cmac { cipher, k1, k2 }
+    }
+
+    /// Computes the 128-bit tag over `msg`.
+    pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
+        let n_blocks = msg.len().div_ceil(16).max(1);
+        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+
+        let mut x = [0u8; 16];
+        // All blocks except the last.
+        for i in 0..n_blocks - 1 {
+            for j in 0..16 {
+                x[j] ^= msg[i * 16 + j];
+            }
+            x = self.cipher.encrypt_copy(&x);
+        }
+        // Last block, masked with K1 (complete) or padded and masked with K2.
+        let mut last = [0u8; 16];
+        if complete_last {
+            last.copy_from_slice(&msg[(n_blocks - 1) * 16..]);
+            for j in 0..16 {
+                last[j] ^= self.k1[j];
+            }
+        } else {
+            let tail = &msg[(n_blocks - 1) * 16..];
+            last[..tail.len()].copy_from_slice(tail);
+            last[tail.len()] = 0x80;
+            for j in 0..16 {
+                last[j] ^= self.k2[j];
+            }
+        }
+        for j in 0..16 {
+            x[j] ^= last[j];
+        }
+        self.cipher.encrypt_copy(&x)
+    }
+
+    /// Constant-shape tag verification.
+    pub fn verify(&self, msg: &[u8], tag: &[u8; 16]) -> bool {
+        let expect = self.tag(msg);
+        let mut diff = 0u8;
+        for i in 0..16 {
+            diff |= expect[i] ^ tag[i];
+        }
+        diff == 0
+    }
+}
+
+/// One-shot convenience: `CMAC(key, msg)`.
+pub fn cmac(key: &[u8; 16], msg: &[u8]) -> [u8; 16] {
+    Cmac::new(key).tag(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn rfc_key() -> [u8; 16] {
+        hex("2b7e151628aed2a6abf7158809cf4f3c").try_into().unwrap()
+    }
+
+    fn rfc_msg() -> Vec<u8> {
+        hex(concat!(
+            "6bc1bee22e409f96e93d7e117393172a",
+            "ae2d8a571e03ac9c9eb76fac45af8e51",
+            "30c81c46a35ce411e5fbc1191a0a52ef",
+            "f69f2445df4f9b17ad2b417be66c3710"
+        ))
+    }
+
+    #[test]
+    fn rfc4493_subkeys() {
+        let c = Cmac::new(&rfc_key());
+        assert_eq!(c.k1.to_vec(), hex("fbeed618357133667c85e08f7236a8de"));
+        assert_eq!(c.k2.to_vec(), hex("f7ddac306ae266ccf90bc11ee46d513b"));
+    }
+
+    #[test]
+    fn rfc4493_example_1_empty() {
+        let c = Cmac::new(&rfc_key());
+        assert_eq!(c.tag(b"").to_vec(), hex("bb1d6929e95937287fa37d129b756746"));
+    }
+
+    #[test]
+    fn rfc4493_example_2_one_block() {
+        let c = Cmac::new(&rfc_key());
+        assert_eq!(
+            c.tag(&rfc_msg()[..16]).to_vec(),
+            hex("070a16b46b4d4144f79bdd9dd04a287c")
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_3_40_bytes() {
+        let c = Cmac::new(&rfc_key());
+        assert_eq!(
+            c.tag(&rfc_msg()[..40]).to_vec(),
+            hex("dfa66747de9ae63030ca32611497c827")
+        );
+    }
+
+    #[test]
+    fn rfc4493_example_4_64_bytes() {
+        let c = Cmac::new(&rfc_key());
+        assert_eq!(
+            c.tag(&rfc_msg()).to_vec(),
+            hex("51f0bebf7e3b9d92fc49741779363cfe")
+        );
+    }
+
+    #[test]
+    fn verify_accepts_and_rejects() {
+        let c = Cmac::new(&[7u8; 16]);
+        let msg = b"the neutralizer blurs packets";
+        let tag = c.tag(msg);
+        assert!(c.verify(msg, &tag));
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(!c.verify(msg, &bad));
+        assert!(!c.verify(b"different message", &tag));
+    }
+
+    #[test]
+    fn length_extension_blocked_by_subkeys() {
+        // Messages that differ only by zero-padding must not collide.
+        let c = Cmac::new(&[9u8; 16]);
+        let a = c.tag(&[1, 2, 3]);
+        let b = c.tag(&[1, 2, 3, 0]);
+        assert_ne!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distinct_messages_distinct_tags(
+            key in any::<[u8;16]>(),
+            m1 in proptest::collection::vec(any::<u8>(), 0..64),
+            m2 in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            prop_assume!(m1 != m2);
+            let c = Cmac::new(&key);
+            prop_assert_ne!(c.tag(&m1), c.tag(&m2));
+        }
+
+        #[test]
+        fn prop_tag_deterministic(key in any::<[u8;16]>(), m in proptest::collection::vec(any::<u8>(), 0..96)) {
+            let c = Cmac::new(&key);
+            prop_assert_eq!(c.tag(&m), c.tag(&m));
+            prop_assert!(c.verify(&m, &c.tag(&m)));
+        }
+    }
+}

@@ -1,0 +1,385 @@
+//! End-to-end encryption channel.
+//!
+//! §3.1 treats end-to-end encryption "as a black box" (e.g. IPsec). This
+//! module is the box's concrete body: a hybrid scheme — RSA-1024 key
+//! transport plus AES-CTR confidentiality plus CMAC integrity — with both a
+//! one-shot envelope (for the first packet to a destination) and a
+//! symmetric session for everything after. The destination also uses this
+//! channel to return the neutralizer-stamped `(nonce', Ks')` pair of §3.2
+//! to the source.
+
+use crate::cmac::Cmac;
+use crate::ctr::AesCtr;
+use crate::error::{CryptoError, Result};
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use rand::Rng;
+
+/// Everything needed to decrypt a one-shot message: RSA-wrapped session
+/// key, CTR nonce, ciphertext, and a CMAC tag over the lot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct E2eEnvelope {
+    /// RSA ciphertext of the 16-byte session key.
+    pub wrapped_key: Vec<u8>,
+    /// CTR nonce.
+    pub nonce: u64,
+    /// AES-CTR ciphertext of the payload.
+    pub ciphertext: Vec<u8>,
+    /// CMAC over `nonce ‖ ciphertext` under the derived MAC key.
+    pub tag: [u8; 16],
+}
+
+impl E2eEnvelope {
+    /// Serializes for transport inside a packet payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.wrapped_key.len() + 8 + 4 + self.ciphertext.len() + 16);
+        out.extend_from_slice(&(self.wrapped_key.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.wrapped_key);
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out.extend_from_slice(&self.tag);
+        out
+    }
+
+    /// Parses an envelope, rejecting truncated or oversized structures.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 2 {
+            return Err(CryptoError::BadLength);
+        }
+        let klen = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
+        let mut off = 2;
+        if bytes.len() < off + klen + 8 + 4 {
+            return Err(CryptoError::BadLength);
+        }
+        let wrapped_key = bytes[off..off + klen].to_vec();
+        off += klen;
+        let nonce = u64::from_be_bytes(bytes[off..off + 8].try_into().unwrap());
+        off += 8;
+        let clen = u32::from_be_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if bytes.len() != off + clen + 16 {
+            return Err(CryptoError::BadLength);
+        }
+        let ciphertext = bytes[off..off + clen].to_vec();
+        off += clen;
+        let tag: [u8; 16] = bytes[off..off + 16].try_into().unwrap();
+        Ok(E2eEnvelope {
+            wrapped_key,
+            nonce,
+            ciphertext,
+            tag,
+        })
+    }
+}
+
+/// Derives independent encryption and MAC keys from a session key.
+fn split_keys(session_key: &[u8; 16]) -> ([u8; 16], [u8; 16]) {
+    let mac = Cmac::new(session_key);
+    (mac.tag(b"e2e-enc"), mac.tag(b"e2e-mac"))
+}
+
+/// Encrypts `plaintext` to `recipient` as a one-shot envelope.
+pub fn seal<R: Rng + ?Sized>(
+    rng: &mut R,
+    recipient: &RsaPublicKey,
+    plaintext: &[u8],
+) -> Result<E2eEnvelope> {
+    let session_key: [u8; 16] = rng.gen();
+    seal_keyed(rng, recipient, plaintext, &session_key)
+}
+
+/// Like [`seal`], but with a caller-chosen session key, so the sender can
+/// keep using the key for a symmetric [`E2eSession`] afterwards.
+pub fn seal_keyed<R: Rng + ?Sized>(
+    rng: &mut R,
+    recipient: &RsaPublicKey,
+    plaintext: &[u8],
+    session_key: &[u8; 16],
+) -> Result<E2eEnvelope> {
+    let session_key = *session_key;
+    let nonce: u64 = rng.gen();
+    let wrapped_key = recipient.encrypt(rng, &session_key)?;
+    let (enc_key, mac_key) = split_keys(&session_key);
+    let mut ciphertext = plaintext.to_vec();
+    AesCtr::new(&enc_key).apply_keystream(nonce, &mut ciphertext);
+    let tag = tag_over(&mac_key, nonce, &ciphertext);
+    Ok(E2eEnvelope {
+        wrapped_key,
+        nonce,
+        ciphertext,
+        tag,
+    })
+}
+
+/// Opens a one-shot envelope; also returns the recovered session key so the
+/// receiver can continue with a symmetric [`E2eSession`].
+pub fn open(private: &RsaPrivateKey, env: &E2eEnvelope) -> Result<(Vec<u8>, [u8; 16])> {
+    let key_bytes = private.decrypt(&env.wrapped_key)?;
+    let session_key: [u8; 16] = key_bytes
+        .as_slice()
+        .try_into()
+        .map_err(|_| CryptoError::BadKey)?;
+    let (enc_key, mac_key) = split_keys(&session_key);
+    let expect = tag_over(&mac_key, env.nonce, &env.ciphertext);
+    if !constant_eq(&expect, &env.tag) {
+        return Err(CryptoError::AuthFailed);
+    }
+    let mut plaintext = env.ciphertext.clone();
+    AesCtr::new(&enc_key).apply_keystream(env.nonce, &mut plaintext);
+    Ok((plaintext, session_key))
+}
+
+fn tag_over(mac_key: &[u8; 16], nonce: u64, ciphertext: &[u8]) -> [u8; 16] {
+    let mut msg = Vec::with_capacity(8 + ciphertext.len());
+    msg.extend_from_slice(&nonce.to_be_bytes());
+    msg.extend_from_slice(ciphertext);
+    Cmac::new(mac_key).tag(&msg)
+}
+
+fn constant_eq(a: &[u8; 16], b: &[u8; 16]) -> bool {
+    let mut d = 0u8;
+    for i in 0..16 {
+        d |= a[i] ^ b[i];
+    }
+    d == 0
+}
+
+/// An established symmetric channel: after the first envelope both ends
+/// share `session_key` and exchange sealed records without public-key work.
+#[derive(Clone)]
+pub struct E2eSession {
+    enc: AesCtr,
+    mac: Cmac,
+    /// Monotonic nonce for the sending direction.
+    next_nonce: u64,
+}
+
+impl core::fmt::Debug for E2eSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("E2eSession(<keys>)")
+    }
+}
+
+/// A sealed record on an established session.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct E2eRecord {
+    /// Per-record CTR nonce (even = initiator, odd = responder).
+    pub nonce: u64,
+    /// AES-CTR ciphertext.
+    pub ciphertext: Vec<u8>,
+    /// CMAC over `nonce ‖ ciphertext`.
+    pub tag: [u8; 16],
+}
+
+impl E2eRecord {
+    /// Serializes as `nonce ‖ len ‖ ciphertext ‖ tag`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 + 4 + self.ciphertext.len() + 16);
+        out.extend_from_slice(&self.nonce.to_be_bytes());
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out.extend_from_slice(&self.tag);
+        out
+    }
+
+    /// Parses a record.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        if bytes.len() < 8 + 4 + 16 {
+            return Err(CryptoError::BadLength);
+        }
+        let nonce = u64::from_be_bytes(bytes[..8].try_into().unwrap());
+        let clen = u32::from_be_bytes(bytes[8..12].try_into().unwrap()) as usize;
+        if bytes.len() != 12 + clen + 16 {
+            return Err(CryptoError::BadLength);
+        }
+        let ciphertext = bytes[12..12 + clen].to_vec();
+        let tag: [u8; 16] = bytes[12 + clen..].try_into().unwrap();
+        Ok(E2eRecord {
+            nonce,
+            ciphertext,
+            tag,
+        })
+    }
+}
+
+impl E2eSession {
+    /// Builds a session from a shared key. `direction` separates the two
+    /// nonce spaces so initiator and responder never collide: initiators
+    /// use even nonces, responders odd.
+    pub fn new(session_key: &[u8; 16], initiator: bool) -> Self {
+        let (enc_key, mac_key) = split_keys(session_key);
+        E2eSession {
+            enc: AesCtr::new(&enc_key),
+            mac: Cmac::new(&mac_key),
+            next_nonce: if initiator { 0 } else { 1 },
+        }
+    }
+
+    /// Seals a record in the sending direction.
+    pub fn seal_record(&mut self, plaintext: &[u8]) -> E2eRecord {
+        let nonce = self.next_nonce;
+        self.next_nonce = self.next_nonce.wrapping_add(2);
+        let mut ciphertext = plaintext.to_vec();
+        self.enc.apply_keystream(nonce, &mut ciphertext);
+        let mut msg = Vec::with_capacity(8 + ciphertext.len());
+        msg.extend_from_slice(&nonce.to_be_bytes());
+        msg.extend_from_slice(&ciphertext);
+        let tag = self.mac.tag(&msg);
+        E2eRecord {
+            nonce,
+            ciphertext,
+            tag,
+        }
+    }
+
+    /// Opens a record from the peer.
+    pub fn open_record(&self, record: &E2eRecord) -> Result<Vec<u8>> {
+        let mut msg = Vec::with_capacity(8 + record.ciphertext.len());
+        msg.extend_from_slice(&record.nonce.to_be_bytes());
+        msg.extend_from_slice(&record.ciphertext);
+        let expect = self.mac.tag(&msg);
+        if !constant_eq(&expect, &record.tag) {
+            return Err(CryptoError::AuthFailed);
+        }
+        let mut plaintext = record.ciphertext.clone();
+        self.enc.apply_keystream(record.nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rsa::generate_keypair;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (StdRng, crate::rsa::RsaKeypair) {
+        let mut rng = StdRng::seed_from_u64(42);
+        let kp = generate_keypair(&mut rng, 512);
+        (rng, kp)
+    }
+
+    #[test]
+    fn envelope_roundtrip() {
+        let (mut rng, kp) = setup();
+        let msg = b"the quick brown packet jumps over the lazy middlebox";
+        let env = seal(&mut rng, &kp.public, msg).unwrap();
+        let (plain, _key) = open(&kp.private, &env).unwrap();
+        assert_eq!(plain, msg);
+    }
+
+    #[test]
+    fn seal_keyed_retains_caller_key() {
+        let (mut rng, kp) = setup();
+        let key = [0x5a; 16];
+        let env = seal_keyed(&mut rng, &kp.public, b"m", &key).unwrap();
+        let (plain, got) = open(&kp.private, &env).unwrap();
+        assert_eq!(plain, b"m");
+        assert_eq!(got, key);
+    }
+
+    #[test]
+    fn envelope_wire_roundtrip() {
+        let (mut rng, kp) = setup();
+        let env = seal(&mut rng, &kp.public, b"payload").unwrap();
+        let bytes = env.to_bytes();
+        let parsed = E2eEnvelope::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, env);
+        let (plain, _) = open(&kp.private, &parsed).unwrap();
+        assert_eq!(plain, b"payload");
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (mut rng, kp) = setup();
+        let mut env = seal(&mut rng, &kp.public, b"sensitive").unwrap();
+        env.ciphertext[0] ^= 1;
+        assert_eq!(open(&kp.private, &env).unwrap_err(), CryptoError::AuthFailed);
+    }
+
+    #[test]
+    fn tampered_tag_rejected() {
+        let (mut rng, kp) = setup();
+        let mut env = seal(&mut rng, &kp.public, b"sensitive").unwrap();
+        env.tag[15] ^= 0x40;
+        assert_eq!(open(&kp.private, &env).unwrap_err(), CryptoError::AuthFailed);
+    }
+
+    #[test]
+    fn wrong_recipient_rejected() {
+        let (mut rng, kp) = setup();
+        let other = generate_keypair(&mut rng, 512);
+        let env = seal(&mut rng, &kp.public, b"for kp only").unwrap();
+        assert!(open(&other.private, &env).is_err());
+    }
+
+    #[test]
+    fn truncated_envelope_rejected() {
+        let (mut rng, kp) = setup();
+        let bytes = seal(&mut rng, &kp.public, b"x").unwrap().to_bytes();
+        for cut in [0, 1, 5, bytes.len() - 1] {
+            assert!(E2eEnvelope::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn session_bidirectional() {
+        let key = [0x77u8; 16];
+        let mut alice = E2eSession::new(&key, true);
+        let mut bob = E2eSession::new(&key, false);
+
+        let r1 = alice.seal_record(b"hello bob");
+        assert_eq!(bob.open_record(&r1).unwrap(), b"hello bob");
+        let r2 = bob.seal_record(b"hello alice");
+        assert_eq!(alice.open_record(&r2).unwrap(), b"hello alice");
+        // Nonce spaces must not collide.
+        assert_ne!(r1.nonce, r2.nonce);
+    }
+
+    #[test]
+    fn session_record_wire_roundtrip() {
+        let key = [0x12u8; 16];
+        let mut s = E2eSession::new(&key, true);
+        let r = s.seal_record(b"record payload");
+        let parsed = E2eRecord::from_bytes(&r.to_bytes()).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn session_rejects_forgery() {
+        let key = [0x13u8; 16];
+        let mut a = E2eSession::new(&key, true);
+        let b = E2eSession::new(&key, false);
+        let mut r = a.seal_record(b"authentic");
+        r.ciphertext.push(0);
+        assert!(b.open_record(&r).is_err());
+    }
+
+    #[test]
+    fn handshake_key_continuity() {
+        // The session key recovered from the envelope drives a session that
+        // interoperates with the sender's.
+        let (mut rng, kp) = setup();
+        let env = seal(&mut rng, &kp.public, b"first packet").unwrap();
+        let (_, session_key) = open(&kp.private, &env).unwrap();
+        let mut receiver = E2eSession::new(&session_key, false);
+        let sender = E2eSession::new(&session_key, true);
+        let rec = receiver.seal_record(b"reply");
+        assert_eq!(sender.open_record(&rec).unwrap(), b"reply");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn prop_session_roundtrip(key in any::<[u8;16]>(), msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..8)) {
+            let mut tx = E2eSession::new(&key, true);
+            let rx = E2eSession::new(&key, false);
+            for m in &msgs {
+                let r = tx.seal_record(m);
+                prop_assert_eq!(&rx.open_record(&r).unwrap(), m);
+            }
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Montgomery modular arithmetic.
+//!
+//! Every modulus used by the neutralizer protocol (RSA moduli, primes) is
+//! odd, so Montgomery reduction applies. The neutralizer performs one RSA
+//! *encryption* per key-setup packet (§3.2, §4 of the paper); keeping that
+//! operation cheap is what makes the key-setup path DoS-tolerant, so this
+//! module is on the hot path of experiment T1.
+
+use crate::biguint::BigUint;
+
+/// Precomputed Montgomery context for a fixed odd modulus.
+pub struct Montgomery {
+    n: BigUint,
+    n_limbs: Vec<u64>,
+    /// `-n^{-1} mod 2^64`.
+    n0inv: u64,
+    /// `R^2 mod n` where `R = 2^(64 * n_limbs.len())`.
+    r2: BigUint,
+}
+
+impl Montgomery {
+    /// Builds a context for an odd modulus `n > 1`.
+    pub fn new(n: &BigUint) -> Self {
+        assert!(!n.is_even(), "Montgomery reduction requires an odd modulus");
+        assert!(!n.is_one() && !n.is_zero(), "modulus must exceed 1");
+        let n_limbs = n.limbs().to_vec();
+        let n0 = n_limbs[0];
+        // Newton iteration for n0^{-1} mod 2^64: doubles correct bits each
+        // round; x = 1 is correct mod 2 for odd n0, so 6 rounds reach 64.
+        let mut x: u64 = 1;
+        for _ in 0..6 {
+            x = x.wrapping_mul(2u64.wrapping_sub(n0.wrapping_mul(x)));
+        }
+        debug_assert_eq!(n0.wrapping_mul(x), 1);
+        let n0inv = x.wrapping_neg();
+        let r2 = BigUint::one().shl(128 * n_limbs.len()).rem(n);
+        Montgomery {
+            n: n.clone(),
+            n_limbs,
+            n0inv,
+            r2,
+        }
+    }
+
+    /// The modulus this context reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.n
+    }
+
+    fn len(&self) -> usize {
+        self.n_limbs.len()
+    }
+
+    /// Montgomery reduction of a (≤ 2·len limb) value held in `t`.
+    /// Computes `t * R^{-1} mod n`.
+    fn redc(&self, t: &mut Vec<u64>) -> BigUint {
+        let len = self.len();
+        t.resize(2 * len + 1, 0);
+        for i in 0..len {
+            let m = t[i].wrapping_mul(self.n0inv);
+            let mut carry = 0u128;
+            for j in 0..len {
+                let p = m as u128 * self.n_limbs[j] as u128 + t[i + j] as u128 + carry;
+                t[i + j] = p as u64;
+                carry = p >> 64;
+            }
+            let mut k = i + len;
+            while carry != 0 {
+                let p = t[k] as u128 + carry;
+                t[k] = p as u64;
+                carry = p >> 64;
+                k += 1;
+            }
+        }
+        let mut res = BigUint::from_limbs(t[len..].to_vec());
+        if res >= self.n {
+            res = res.sub(&self.n);
+        }
+        res
+    }
+
+    /// Product of two values already in Montgomery form.
+    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let prod = a.mul(b);
+        let mut t = prod.limbs().to_vec();
+        self.redc(&mut t)
+    }
+
+    /// Converts into Montgomery form: `x * R mod n`.
+    fn to_mont(&self, x: &BigUint) -> BigUint {
+        self.mont_mul(x, &self.r2)
+    }
+
+    /// Converts out of Montgomery form: `x * R^{-1} mod n`.
+    fn from_mont(&self, x: &BigUint) -> BigUint {
+        let mut t = x.limbs().to_vec();
+        self.redc(&mut t)
+    }
+
+    /// `base ^ exponent mod n` by right-to-left binary exponentiation.
+    pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
+        if exponent.is_zero() {
+            return BigUint::one().rem(&self.n);
+        }
+        let mut b = self.to_mont(&base.rem(&self.n));
+        // 1 in Montgomery form is R mod n = redc(R^2).
+        let mut acc = {
+            let mut t = self.r2.limbs().to_vec();
+            self.redc(&mut t)
+        };
+        let bits = exponent.bit_len();
+        for i in 0..bits {
+            if exponent.bit(i) {
+                acc = self.mont_mul(&acc, &b);
+            }
+            if i + 1 < bits {
+                b = self.mont_mul(&b, &b);
+            }
+        }
+        self.from_mont(&acc)
+    }
+
+    /// Modular multiplication `a * b mod n` through the Montgomery domain.
+    pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
+        let am = self.to_mont(&a.rem(&self.n));
+        let bm = self.to_mont(&b.rem(&self.n));
+        self.from_mont(&self.mont_mul(&am, &bm))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn pow_matches_known_values() {
+        let m = Montgomery::new(&big(1_000_000_007));
+        assert_eq!(m.pow(&big(2), &big(10)), big(1024));
+        assert_eq!(m.pow(&big(5), &BigUint::zero()), BigUint::one());
+        // Fermat's little theorem.
+        assert_eq!(m.pow(&big(1234567), &big(1_000_000_006)), BigUint::one());
+    }
+
+    #[test]
+    fn pow_with_base_larger_than_modulus() {
+        let m = Montgomery::new(&big(97));
+        assert_eq!(m.pow(&big(1000), &big(3)), big(1000u128.pow(3) % 97));
+    }
+
+    #[test]
+    fn mul_mod_matches_naive() {
+        let m = Montgomery::new(&big(0xffff_ffff_ffff_fff1));
+        let a = big(0x1234_5678_9abc_def0);
+        let b = big(0xfedc_ba98_7654_3210);
+        assert_eq!(m.mul_mod(&a, &b), a.mul_mod(&b, m.modulus()));
+    }
+
+    #[test]
+    #[should_panic(expected = "odd modulus")]
+    fn even_modulus_rejected() {
+        let _ = Montgomery::new(&big(100));
+    }
+
+    #[test]
+    fn multi_limb_modulus() {
+        // 2^127 - 1 is a Mersenne prime; exercises a 2-limb modulus.
+        let p = BigUint::one().shl(127).sub(&BigUint::one());
+        let m = Montgomery::new(&p);
+        let base = big(3);
+        assert_eq!(m.pow(&base, &p.sub(&BigUint::one())), BigUint::one());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_pow_matches_naive_u64(
+            base in any::<u64>(),
+            exp in any::<u8>(),
+            modulus in 3u64..,
+        ) {
+            let n = big((modulus | 1) as u128);
+            let mont = Montgomery::new(&n);
+            // Naive: repeated mul_mod via BigUint primitives.
+            let mut expect = BigUint::one().rem(&n);
+            let b = big(base as u128).rem(&n);
+            for _ in 0..exp {
+                expect = expect.mul_mod(&b, &n);
+            }
+            prop_assert_eq!(mont.pow(&big(base as u128), &big(exp as u128)), expect);
+        }
+
+        #[test]
+        fn prop_mul_mod_matches_naive(
+            a in any::<u128>(),
+            b in any::<u128>(),
+            modulus in 3u128..,
+        ) {
+            let n = big(modulus | 1);
+            let mont = Montgomery::new(&n);
+            let (ba, bb) = (big(a), big(b));
+            prop_assert_eq!(mont.mul_mod(&ba, &bb), ba.mul_mod(&bb, &n));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Prime generation for one-time RSA keys.
+//!
+//! The paper's sources mint a fresh 512-bit RSA key per connection (§3.2),
+//! so prime generation must be fast for 256-bit primes: a small-prime sieve
+//! filters candidates before Miller–Rabin.
+
+use crate::biguint::BigUint;
+use rand::Rng;
+
+/// Primes below this bound are used for trial division of candidates.
+const SIEVE_BOUND: usize = 8192;
+
+/// Number of Miller–Rabin rounds. 32 random bases push the error
+/// probability below 2^-64 for the sizes we generate.
+const MR_ROUNDS: usize = 32;
+
+/// Returns all primes below [`SIEVE_BOUND`] (Eratosthenes).
+pub fn small_primes() -> Vec<u64> {
+    let mut is_comp = vec![false; SIEVE_BOUND];
+    let mut primes = Vec::new();
+    for i in 2..SIEVE_BOUND {
+        if !is_comp[i] {
+            primes.push(i as u64);
+            let mut j = i * i;
+            while j < SIEVE_BOUND {
+                is_comp[j] = true;
+                j += i;
+            }
+        }
+    }
+    primes
+}
+
+/// Miller–Rabin probabilistic primality test with random bases.
+pub fn is_probable_prime<R: Rng + ?Sized>(n: &BigUint, rng: &mut R) -> bool {
+    if n.is_zero() || n.is_one() {
+        return false;
+    }
+    let two = BigUint::from_u64(2);
+    if n == &two {
+        return true;
+    }
+    if n.is_even() {
+        return false;
+    }
+    // Trial division by small primes.
+    for &p in small_primes().iter() {
+        let bp = BigUint::from_u64(p);
+        if n == &bp {
+            return true;
+        }
+        if n.rem(&bp).is_zero() {
+            return false;
+        }
+    }
+    // Write n - 1 = d * 2^s with d odd.
+    let n_minus_1 = n.sub(&BigUint::one());
+    let mut d = n_minus_1.clone();
+    let mut s = 0usize;
+    while d.is_even() {
+        d = d.shr(1);
+        s += 1;
+    }
+    let mont = crate::modexp::Montgomery::new(n);
+    'witness: for _ in 0..MR_ROUNDS {
+        // Base in [2, n-2].
+        let a = loop {
+            let a = BigUint::random_below(rng, &n_minus_1);
+            if !a.is_zero() && !a.is_one() {
+                break a;
+            }
+        };
+        let mut x = mont.pow(&a, &d);
+        if x.is_one() || x == n_minus_1 {
+            continue 'witness;
+        }
+        for _ in 0..s - 1 {
+            x = mont.mul_mod(&x, &x);
+            if x == n_minus_1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Generates a random prime with exactly `bits` bits.
+///
+/// When `two_top_bits` is set, the two most significant bits are forced to
+/// one so that the product of two such primes always has full `2*bits`
+/// length (the RSA key-generation case).
+///
+/// When `coprime_to` is given, candidates with `gcd(p - 1, e) != 1` are
+/// rejected so that `e` is usable as an RSA public exponent.
+pub fn gen_prime<R: Rng + ?Sized>(
+    rng: &mut R,
+    bits: usize,
+    two_top_bits: bool,
+    coprime_to: Option<&BigUint>,
+) -> BigUint {
+    assert!(bits >= 16, "refusing to generate toy primes below 16 bits");
+    loop {
+        let mut candidate = BigUint::random_bits(rng, bits);
+        if two_top_bits && bits >= 2 {
+            candidate = candidate.add(&BigUint::one().shl(bits - 2));
+            // Adding the bit may carry; re-mask by regenerating on overflow.
+            if candidate.bit_len() != bits {
+                continue;
+            }
+        }
+        // Force odd.
+        if candidate.is_even() {
+            candidate = candidate.add(&BigUint::one());
+            if candidate.bit_len() != bits {
+                continue;
+            }
+        }
+        if let Some(e) = coprime_to {
+            let pm1 = candidate.sub(&BigUint::one());
+            if !pm1.gcd(e).is_one() {
+                continue;
+            }
+        }
+        if is_probable_prime(&candidate, rng) {
+            return candidate;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn sieve_front_matches_known_primes() {
+        let primes = small_primes();
+        assert_eq!(&primes[..10], &[2, 3, 5, 7, 11, 13, 17, 19, 23, 29]);
+        assert!(primes.iter().all(|&p| (p as usize) < SIEVE_BOUND));
+    }
+
+    #[test]
+    fn known_primes_accepted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for p in [2u128, 3, 5, 104729, 1_000_000_007, 0xffff_ffff_ffff_ffc5] {
+            assert!(is_probable_prime(&big(p), &mut rng), "{p} should be prime");
+        }
+        // 2^127 - 1 (Mersenne).
+        let m127 = BigUint::one().shl(127).sub(&BigUint::one());
+        assert!(is_probable_prime(&m127, &mut rng));
+    }
+
+    #[test]
+    fn known_composites_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for c in [0u128, 1, 4, 100, 561, 41041, 825265, 1_000_000_006] {
+            assert!(!is_probable_prime(&big(c), &mut rng), "{c} is not prime");
+        }
+        // Carmichael number with large factors: 101*151*251.
+        assert!(!is_probable_prime(&big(101 * 151 * 251), &mut rng));
+        // Product of two 64-bit primes.
+        let p = big(0xffff_ffff_ffff_ffc5);
+        assert!(!is_probable_prime(&p.mul(&p), &mut rng));
+    }
+
+    #[test]
+    fn generated_prime_has_requested_shape() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = gen_prime(&mut rng, 64, true, None);
+        assert_eq!(p.bit_len(), 64);
+        assert!(p.bit(62), "second-highest bit must be set");
+        assert!(is_probable_prime(&p, &mut rng));
+    }
+
+    #[test]
+    fn coprime_constraint_respected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = big(3);
+        for _ in 0..5 {
+            let p = gen_prime(&mut rng, 48, false, Some(&e));
+            assert!(p.sub(&BigUint::one()).gcd(&e).is_one());
+        }
+    }
+
+    #[test]
+    fn rsa_sized_prime_generation_terminates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = gen_prime(&mut rng, 256, true, Some(&big(3)));
+        assert_eq!(p.bit_len(), 256);
+        assert!(is_probable_prime(&p, &mut rng));
+    }
+}

@@ -1,0 +1,30 @@
+//! # nn-dns — DNS substrate for neutralizer bootstrapping
+//!
+//! §3.1 of the paper stores the bootstrap triple — destination address,
+//! neutralizer anycast addresses, destination public key — in DNS, and
+//! requires encrypted queries to third-party resolvers so a discriminatory
+//! access ISP cannot selectively delay lookups. This crate provides:
+//!
+//! * [`name`] / [`wire`] — a validated, compression-free DNS message
+//!   subset (single question, A/TXT/NEUT records).
+//! * [`records`] — record types including the `NEUT` bootstrap record;
+//!   multi-homed sites (§3.5) publish several neutralizer addresses in it.
+//! * [`zone`] — authoritative storage plus a TTL-honoring client cache
+//!   driven by simulated time.
+//! * [`node`] — an in-simulator resolver serving plain queries on port 53
+//!   and envelope-encrypted queries on port 853.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod name;
+pub mod node;
+pub mod records;
+pub mod wire;
+pub mod zone;
+
+pub use name::{DnsError, DnsName};
+pub use node::{DnsServerNode, DNS_PORT, ENCRYPTED_DNS_PORT};
+pub use records::{rtype, NeutInfo, Record, RecordData};
+pub use wire::{DnsMessage, Question, Rcode};
+pub use zone::{DnsCache, Lookup, ZoneStore};

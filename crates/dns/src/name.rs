@@ -1,0 +1,183 @@
+//! Domain names.
+
+use core::fmt;
+
+/// Errors specific to DNS handling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DnsError {
+    /// A label is empty, too long, or the name exceeds 255 bytes.
+    BadName,
+    /// Wire data truncated or structurally invalid.
+    BadWire,
+    /// Unknown record type in a context that needs a known one.
+    UnknownType,
+}
+
+impl fmt::Display for DnsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = match self {
+            DnsError::BadName => "invalid domain name",
+            DnsError::BadWire => "malformed DNS wire data",
+            DnsError::UnknownType => "unknown record type",
+        };
+        f.write_str(m)
+    }
+}
+
+impl std::error::Error for DnsError {}
+
+/// Result alias for this crate.
+pub type Result<T> = core::result::Result<T, DnsError>;
+
+/// A validated, case-normalized domain name (e.g. `www.google.com`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DnsName {
+    /// Lowercased dotted form without trailing dot.
+    normalized: String,
+}
+
+impl DnsName {
+    /// Parses and validates a dotted name. Labels must be 1–63 bytes,
+    /// the whole name at most 253 bytes; comparison is case-insensitive.
+    pub fn new(name: &str) -> Result<Self> {
+        let trimmed = name.strip_suffix('.').unwrap_or(name);
+        if trimmed.is_empty() || trimmed.len() > 253 {
+            return Err(DnsError::BadName);
+        }
+        for label in trimmed.split('.') {
+            if label.is_empty() || label.len() > 63 {
+                return Err(DnsError::BadName);
+            }
+            if !label
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_')
+            {
+                return Err(DnsError::BadName);
+            }
+        }
+        Ok(DnsName {
+            normalized: trimmed.to_ascii_lowercase(),
+        })
+    }
+
+    /// The normalized dotted form.
+    pub fn as_str(&self) -> &str {
+        &self.normalized
+    }
+
+    /// Labels in order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.normalized.split('.')
+    }
+
+    /// Encodes as DNS wire labels (length-prefixed, root terminator).
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        for label in self.labels() {
+            out.push(label.len() as u8);
+            out.extend_from_slice(label.as_bytes());
+        }
+        out.push(0);
+    }
+
+    /// Decodes wire labels starting at `off`; returns (name, bytes used).
+    /// Compression pointers are not supported (we never emit them) and are
+    /// rejected.
+    pub fn decode(data: &[u8], off: usize) -> Result<(Self, usize)> {
+        let mut labels: Vec<String> = Vec::new();
+        let mut pos = off;
+        let mut total = 0usize;
+        loop {
+            let len = *data.get(pos).ok_or(DnsError::BadWire)? as usize;
+            pos += 1;
+            if len == 0 {
+                break;
+            }
+            if len > 63 {
+                return Err(DnsError::BadWire); // includes compression pointers
+            }
+            total += len + 1;
+            if total > 255 {
+                return Err(DnsError::BadWire);
+            }
+            let bytes = data.get(pos..pos + len).ok_or(DnsError::BadWire)?;
+            let label = core::str::from_utf8(bytes).map_err(|_| DnsError::BadWire)?;
+            labels.push(label.to_ascii_lowercase());
+            pos += len;
+        }
+        if labels.is_empty() {
+            return Err(DnsError::BadWire);
+        }
+        let name = DnsName::new(&labels.join("."))?;
+        Ok((name, pos - off))
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.normalized)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn valid_names() {
+        for n in ["google.com", "www.Google.COM.", "a.b-c.d_e.f", "x"] {
+            assert!(DnsName::new(n).is_ok(), "{n}");
+        }
+        assert_eq!(DnsName::new("WWW.Google.Com").unwrap().as_str(), "www.google.com");
+    }
+
+    #[test]
+    fn invalid_names() {
+        let long_label = "a".repeat(64);
+        let long_name = format!("{}.com", "a.".repeat(130));
+        for n in ["", ".", "a..b", &long_label, &long_name, "bad name", "emoji🦀"] {
+            assert!(DnsName::new(n).is_err(), "{n:?} should be rejected");
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let name = DnsName::new("vonage.example.net").unwrap();
+        let mut buf = vec![0xaa; 3]; // offset prefix
+        name.encode(&mut buf);
+        let (decoded, used) = DnsName::decode(&buf, 3).unwrap();
+        assert_eq!(decoded, name);
+        assert_eq!(used, buf.len() - 3);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_pointers() {
+        let name = DnsName::new("a.bc").unwrap();
+        let mut buf = Vec::new();
+        name.encode(&mut buf);
+        for cut in 0..buf.len() - 1 {
+            assert!(DnsName::decode(&buf[..cut], 0).is_err(), "cut={cut}");
+        }
+        // Compression pointer (0xc0) rejected.
+        assert!(DnsName::decode(&[0xc0, 0x04], 0).is_err());
+        // Empty name rejected.
+        assert!(DnsName::decode(&[0x00], 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(labels in proptest::collection::vec("[a-z0-9]{1,10}", 1..5)) {
+            let name = DnsName::new(&labels.join(".")).unwrap();
+            let mut buf = Vec::new();
+            name.encode(&mut buf);
+            let (decoded, used) = DnsName::decode(&buf, 0).unwrap();
+            prop_assert_eq!(decoded, name);
+            prop_assert_eq!(used, buf.len());
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64), off in 0usize..8) {
+            let _ = DnsName::decode(&data, off);
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Resource records, including the neutralizer bootstrap record.
+//!
+//! §3.1 of the paper: "a source ... needs to obtain a destination's IP
+//! address, the destination's neutralizers' addresses, and the
+//! destination's public key ... This bootstrapping information can be
+//! stored at a destination's DNS records." The `NEUT` record type carries
+//! exactly that triple; multi-homed sites (§3.5) simply list several
+//! neutralizer addresses, one per provider.
+
+use crate::name::{DnsError, DnsName, Result};
+use nn_packet::Ipv4Addr;
+
+/// Record type codes.
+pub mod rtype {
+    /// IPv4 address.
+    pub const A: u16 = 1;
+    /// Freeform text.
+    pub const TXT: u16 = 16;
+    /// Neutralizer bootstrap record (private-use type).
+    pub const NEUT: u16 = 0xff01;
+}
+
+/// Neutralizer bootstrap data published by a destination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NeutInfo {
+    /// Anycast service addresses, one per neutral provider (§3.5).
+    pub neutralizers: Vec<Ipv4Addr>,
+    /// The destination's end-to-end public key, RSA wire format.
+    pub pubkey_wire: Vec<u8>,
+}
+
+impl NeutInfo {
+    /// Serializes as rdata: `count(1) ‖ addr*4... ‖ pubkey_wire`.
+    pub fn to_rdata(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(1 + self.neutralizers.len() * 4 + self.pubkey_wire.len());
+        out.push(self.neutralizers.len() as u8);
+        for a in &self.neutralizers {
+            out.extend_from_slice(&a.octets());
+        }
+        out.extend_from_slice(&self.pubkey_wire);
+        out
+    }
+
+    /// Parses rdata.
+    pub fn from_rdata(data: &[u8]) -> Result<Self> {
+        let count = *data.first().ok_or(DnsError::BadWire)? as usize;
+        let addrs_end = 1 + count * 4;
+        if data.len() < addrs_end {
+            return Err(DnsError::BadWire);
+        }
+        let mut neutralizers = Vec::with_capacity(count);
+        for i in 0..count {
+            let o = &data[1 + i * 4..1 + i * 4 + 4];
+            neutralizers.push(Ipv4Addr::new(o[0], o[1], o[2], o[3]));
+        }
+        Ok(NeutInfo {
+            neutralizers,
+            pubkey_wire: data[addrs_end..].to_vec(),
+        })
+    }
+}
+
+/// Typed record data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordData {
+    /// An IPv4 address.
+    A(Ipv4Addr),
+    /// Freeform text.
+    Txt(Vec<u8>),
+    /// Neutralizer bootstrap info.
+    Neut(NeutInfo),
+}
+
+impl RecordData {
+    /// The record type code.
+    pub fn rtype(&self) -> u16 {
+        match self {
+            RecordData::A(_) => rtype::A,
+            RecordData::Txt(_) => rtype::TXT,
+            RecordData::Neut(_) => rtype::NEUT,
+        }
+    }
+
+    /// Serializes the rdata portion.
+    pub fn to_rdata(&self) -> Vec<u8> {
+        match self {
+            RecordData::A(a) => a.octets().to_vec(),
+            RecordData::Txt(t) => t.clone(),
+            RecordData::Neut(n) => n.to_rdata(),
+        }
+    }
+
+    /// Parses rdata of the given type.
+    pub fn from_rdata(rtype_code: u16, data: &[u8]) -> Result<Self> {
+        match rtype_code {
+            rtype::A => {
+                if data.len() != 4 {
+                    return Err(DnsError::BadWire);
+                }
+                Ok(RecordData::A(Ipv4Addr::new(data[0], data[1], data[2], data[3])))
+            }
+            rtype::TXT => Ok(RecordData::Txt(data.to_vec())),
+            rtype::NEUT => Ok(RecordData::Neut(NeutInfo::from_rdata(data)?)),
+            _ => Err(DnsError::UnknownType),
+        }
+    }
+}
+
+/// A complete resource record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Owner name.
+    pub name: DnsName,
+    /// Time to live, seconds.
+    pub ttl_secs: u32,
+    /// Typed payload.
+    pub data: RecordData,
+}
+
+impl Record {
+    /// Convenience constructor.
+    pub fn new(name: DnsName, ttl_secs: u32, data: RecordData) -> Self {
+        Record {
+            name,
+            ttl_secs,
+            data,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::new(s).unwrap()
+    }
+
+    #[test]
+    fn neut_info_roundtrip() {
+        let info = NeutInfo {
+            neutralizers: vec![Ipv4Addr::new(198, 18, 0, 1), Ipv4Addr::new(198, 19, 0, 1)],
+            pubkey_wire: vec![0, 64, 1, 2, 3],
+        };
+        assert_eq!(NeutInfo::from_rdata(&info.to_rdata()).unwrap(), info);
+    }
+
+    #[test]
+    fn neut_info_empty_neutralizers() {
+        let info = NeutInfo {
+            neutralizers: vec![],
+            pubkey_wire: vec![9; 10],
+        };
+        assert_eq!(NeutInfo::from_rdata(&info.to_rdata()).unwrap(), info);
+    }
+
+    #[test]
+    fn neut_info_truncations_rejected() {
+        let info = NeutInfo {
+            neutralizers: vec![Ipv4Addr::new(1, 2, 3, 4)],
+            pubkey_wire: vec![],
+        };
+        let rdata = info.to_rdata();
+        assert!(NeutInfo::from_rdata(&[]).is_err());
+        assert!(NeutInfo::from_rdata(&rdata[..3]).is_err());
+    }
+
+    #[test]
+    fn record_data_roundtrips() {
+        let cases = vec![
+            RecordData::A(Ipv4Addr::new(10, 1, 2, 3)),
+            RecordData::Txt(b"hello".to_vec()),
+            RecordData::Neut(NeutInfo {
+                neutralizers: vec![Ipv4Addr::new(198, 18, 0, 1)],
+                pubkey_wire: vec![1, 2, 3],
+            }),
+        ];
+        for d in cases {
+            let rt = d.rtype();
+            let rdata = d.to_rdata();
+            assert_eq!(RecordData::from_rdata(rt, &rdata).unwrap(), d);
+        }
+    }
+
+    #[test]
+    fn bad_rdata_rejected() {
+        assert_eq!(
+            RecordData::from_rdata(rtype::A, &[1, 2, 3]),
+            Err(DnsError::BadWire)
+        );
+        assert_eq!(
+            RecordData::from_rdata(999, &[1]),
+            Err(DnsError::UnknownType)
+        );
+    }
+
+    #[test]
+    fn record_construction() {
+        let r = Record::new(name("google.com"), 3600, RecordData::A(Ipv4Addr::new(8, 8, 8, 8)));
+        assert_eq!(r.ttl_secs, 3600);
+        assert_eq!(r.data.rtype(), rtype::A);
+    }
+}

@@ -1,0 +1,244 @@
+//! DNS message wire format (single-question subset, no compression).
+
+use crate::name::{DnsError, DnsName, Result};
+use crate::records::{Record, RecordData};
+
+/// Response codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rcode {
+    /// Success.
+    NoError,
+    /// Name does not exist.
+    NxDomain,
+    /// Server failure.
+    ServFail,
+}
+
+impl Rcode {
+    fn to_bits(self) -> u16 {
+        match self {
+            Rcode::NoError => 0,
+            Rcode::NxDomain => 3,
+            Rcode::ServFail => 2,
+        }
+    }
+
+    fn from_bits(bits: u16) -> Result<Self> {
+        Ok(match bits & 0xf {
+            0 => Rcode::NoError,
+            2 => Rcode::ServFail,
+            3 => Rcode::NxDomain,
+            _ => return Err(DnsError::BadWire),
+        })
+    }
+}
+
+/// A question section entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Question {
+    /// Queried name.
+    pub name: DnsName,
+    /// Queried record type.
+    pub qtype: u16,
+}
+
+/// A DNS message: one question, zero or more answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DnsMessage {
+    /// Transaction id (matched by the client).
+    pub id: u16,
+    /// Query (false) or response (true).
+    pub is_response: bool,
+    /// Response code.
+    pub rcode: Rcode,
+    /// The single question.
+    pub question: Question,
+    /// Answer records.
+    pub answers: Vec<Record>,
+}
+
+impl DnsMessage {
+    /// Builds a query.
+    pub fn query(id: u16, name: DnsName, qtype: u16) -> Self {
+        DnsMessage {
+            id,
+            is_response: false,
+            rcode: Rcode::NoError,
+            question: Question { name, qtype },
+            answers: Vec::new(),
+        }
+    }
+
+    /// Builds the response to `self` with the given answers.
+    pub fn response(&self, rcode: Rcode, answers: Vec<Record>) -> Self {
+        DnsMessage {
+            id: self.id,
+            is_response: true,
+            rcode,
+            question: self.question.clone(),
+            answers,
+        }
+    }
+
+    /// Serializes to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(&self.id.to_be_bytes());
+        let mut flags = 0u16;
+        if self.is_response {
+            flags |= 0x8000;
+        }
+        flags |= self.rcode.to_bits();
+        out.extend_from_slice(&flags.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // qdcount
+        out.extend_from_slice(&(self.answers.len() as u16).to_be_bytes());
+        out.extend_from_slice(&0u16.to_be_bytes()); // nscount
+        out.extend_from_slice(&0u16.to_be_bytes()); // arcount
+        self.question.name.encode(&mut out);
+        out.extend_from_slice(&self.question.qtype.to_be_bytes());
+        out.extend_from_slice(&1u16.to_be_bytes()); // class IN
+        for rec in &self.answers {
+            rec.name.encode(&mut out);
+            out.extend_from_slice(&rec.data.rtype().to_be_bytes());
+            out.extend_from_slice(&1u16.to_be_bytes());
+            out.extend_from_slice(&rec.ttl_secs.to_be_bytes());
+            let rdata = rec.data.to_rdata();
+            out.extend_from_slice(&(rdata.len() as u16).to_be_bytes());
+            out.extend_from_slice(&rdata);
+        }
+        out
+    }
+
+    /// Parses wire bytes.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        if data.len() < 12 {
+            return Err(DnsError::BadWire);
+        }
+        let id = u16::from_be_bytes([data[0], data[1]]);
+        let flags = u16::from_be_bytes([data[2], data[3]]);
+        let qdcount = u16::from_be_bytes([data[4], data[5]]);
+        let ancount = u16::from_be_bytes([data[6], data[7]]);
+        if qdcount != 1 {
+            return Err(DnsError::BadWire);
+        }
+        let mut pos = 12;
+        let (qname, used) = DnsName::decode(data, pos)?;
+        pos += used;
+        let qtype_bytes = data.get(pos..pos + 4).ok_or(DnsError::BadWire)?;
+        let qtype = u16::from_be_bytes([qtype_bytes[0], qtype_bytes[1]]);
+        pos += 4;
+        let mut answers = Vec::with_capacity(ancount as usize);
+        for _ in 0..ancount {
+            let (name, used) = DnsName::decode(data, pos)?;
+            pos += used;
+            let fixed = data.get(pos..pos + 10).ok_or(DnsError::BadWire)?;
+            let rtype_code = u16::from_be_bytes([fixed[0], fixed[1]]);
+            let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
+            let rdlen = u16::from_be_bytes([fixed[8], fixed[9]]) as usize;
+            pos += 10;
+            let rdata = data.get(pos..pos + rdlen).ok_or(DnsError::BadWire)?;
+            pos += rdlen;
+            answers.push(Record::new(
+                name,
+                ttl,
+                RecordData::from_rdata(rtype_code, rdata)?,
+            ));
+        }
+        Ok(DnsMessage {
+            id,
+            is_response: flags & 0x8000 != 0,
+            rcode: Rcode::from_bits(flags)?,
+            question: Question {
+                name: qname,
+                qtype,
+            },
+            answers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{rtype, NeutInfo};
+    use nn_packet::Ipv4Addr;
+    use proptest::prelude::*;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::new(s).unwrap()
+    }
+
+    #[test]
+    fn query_roundtrip() {
+        let q = DnsMessage::query(0x1234, name("www.google.com"), rtype::NEUT);
+        let decoded = DnsMessage::decode(&q.encode()).unwrap();
+        assert_eq!(decoded, q);
+        assert!(!decoded.is_response);
+    }
+
+    #[test]
+    fn response_with_answers_roundtrip() {
+        let q = DnsMessage::query(7, name("google.com"), rtype::NEUT);
+        let resp = q.response(
+            Rcode::NoError,
+            vec![
+                Record::new(
+                    name("google.com"),
+                    300,
+                    RecordData::A(Ipv4Addr::new(172, 16, 2, 1)),
+                ),
+                Record::new(
+                    name("google.com"),
+                    300,
+                    RecordData::Neut(NeutInfo {
+                        neutralizers: vec![Ipv4Addr::new(198, 18, 0, 1)],
+                        pubkey_wire: vec![0, 4, 9, 9, 9, 9],
+                    }),
+                ),
+            ],
+        );
+        let decoded = DnsMessage::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded, resp);
+        assert_eq!(decoded.id, 7);
+        assert_eq!(decoded.answers.len(), 2);
+    }
+
+    #[test]
+    fn nxdomain_roundtrip() {
+        let q = DnsMessage::query(9, name("nonexistent.example"), rtype::A);
+        let resp = q.response(Rcode::NxDomain, vec![]);
+        let decoded = DnsMessage::decode(&resp.encode()).unwrap();
+        assert_eq!(decoded.rcode, Rcode::NxDomain);
+        assert!(decoded.answers.is_empty());
+    }
+
+    #[test]
+    fn truncations_rejected() {
+        let q = DnsMessage::query(1, name("a.b"), rtype::A);
+        let wire = q.encode();
+        for cut in 0..wire.len() {
+            assert!(DnsMessage::decode(&wire[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn multi_question_rejected() {
+        let q = DnsMessage::query(1, name("a.b"), rtype::A);
+        let mut wire = q.encode();
+        wire[5] = 2; // qdcount = 2
+        assert!(DnsMessage::decode(&wire).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = DnsMessage::decode(&data);
+        }
+
+        #[test]
+        fn prop_query_roundtrip(id in any::<u16>(), labels in proptest::collection::vec("[a-z]{1,8}", 1..4), qtype in any::<u16>()) {
+            let q = DnsMessage::query(id, name(&labels.join(".")), qtype);
+            prop_assert_eq!(DnsMessage::decode(&q.encode()).unwrap(), q);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Authoritative zone storage and a TTL-honoring cache.
+
+use crate::name::DnsName;
+use crate::records::Record;
+use nn_netsim::SimTime;
+use std::collections::HashMap;
+
+/// Authoritative record store.
+#[derive(Debug, Clone, Default)]
+pub struct ZoneStore {
+    records: HashMap<DnsName, Vec<Record>>,
+}
+
+/// Result of an authoritative lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// Matching records (possibly a subset of the name's records).
+    Found(Vec<Record>),
+    /// The name exists, but not with this type.
+    NoData,
+    /// The name does not exist.
+    NxDomain,
+}
+
+impl ZoneStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a record.
+    pub fn add(&mut self, record: Record) {
+        self.records
+            .entry(record.name.clone())
+            .or_default()
+            .push(record);
+    }
+
+    /// Authoritative query by name and type.
+    pub fn query(&self, name: &DnsName, qtype: u16) -> Lookup {
+        match self.records.get(name) {
+            None => Lookup::NxDomain,
+            Some(recs) => {
+                let matching: Vec<Record> = recs
+                    .iter()
+                    .filter(|r| r.data.rtype() == qtype)
+                    .cloned()
+                    .collect();
+                if matching.is_empty() {
+                    Lookup::NoData
+                } else {
+                    Lookup::Found(matching)
+                }
+            }
+        }
+    }
+
+    /// Number of names with records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the store has no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+/// Client-side cache keyed by (name, qtype), honoring record TTLs against
+/// simulated time.
+#[derive(Debug, Default)]
+pub struct DnsCache {
+    entries: HashMap<(DnsName, u16), (SimTime, Vec<Record>)>,
+    /// Cache hits served.
+    pub hits: u64,
+    /// Lookups that missed or had expired.
+    pub misses: u64,
+}
+
+impl DnsCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores records under (name, qtype); expiry is the minimum TTL.
+    pub fn insert(&mut self, now: SimTime, name: DnsName, qtype: u16, records: Vec<Record>) {
+        let min_ttl = records.iter().map(|r| r.ttl_secs).min().unwrap_or(0);
+        let expires = now + std::time::Duration::from_secs(min_ttl as u64);
+        self.entries.insert((name, qtype), (expires, records));
+    }
+
+    /// Looks up unexpired records.
+    pub fn get(&mut self, now: SimTime, name: &DnsName, qtype: u16) -> Option<Vec<Record>> {
+        match self.entries.get(&(name.clone(), qtype)) {
+            Some((expires, recs)) if *expires > now => {
+                self.hits += 1;
+                Some(recs.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{rtype, RecordData};
+    use nn_packet::Ipv4Addr;
+
+    fn name(s: &str) -> DnsName {
+        DnsName::new(s).unwrap()
+    }
+
+    fn a_record(n: &str, ttl: u32) -> Record {
+        Record::new(name(n), ttl, RecordData::A(Ipv4Addr::new(1, 2, 3, 4)))
+    }
+
+    #[test]
+    fn zone_query_semantics() {
+        let mut z = ZoneStore::new();
+        z.add(a_record("google.com", 60));
+        match z.query(&name("google.com"), rtype::A) {
+            Lookup::Found(recs) => assert_eq!(recs.len(), 1),
+            other => panic!("expected Found, got {other:?}"),
+        }
+        assert_eq!(z.query(&name("google.com"), rtype::NEUT), Lookup::NoData);
+        assert_eq!(z.query(&name("bing.com"), rtype::A), Lookup::NxDomain);
+    }
+
+    #[test]
+    fn zone_case_insensitive_via_name_normalization() {
+        let mut z = ZoneStore::new();
+        z.add(a_record("Google.COM", 60));
+        assert!(matches!(
+            z.query(&name("GOOGLE.com"), rtype::A),
+            Lookup::Found(_)
+        ));
+    }
+
+    #[test]
+    fn cache_honors_ttl() {
+        let mut c = DnsCache::new();
+        let n = name("google.com");
+        c.insert(SimTime::ZERO, n.clone(), rtype::A, vec![a_record("google.com", 10)]);
+        assert!(c.get(SimTime::from_secs(5), &n, rtype::A).is_some());
+        assert!(c.get(SimTime::from_secs(10), &n, rtype::A).is_none());
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 1);
+    }
+
+    #[test]
+    fn cache_min_ttl_governs() {
+        let mut c = DnsCache::new();
+        let n = name("x.y");
+        c.insert(
+            SimTime::ZERO,
+            n.clone(),
+            rtype::A,
+            vec![a_record("x.y", 100), a_record("x.y", 5)],
+        );
+        assert!(c.get(SimTime::from_secs(6), &n, rtype::A).is_none());
+    }
+
+    #[test]
+    fn cache_distinguishes_types() {
+        let mut c = DnsCache::new();
+        let n = name("x.y");
+        c.insert(SimTime::ZERO, n.clone(), rtype::A, vec![a_record("x.y", 100)]);
+        assert!(c.get(SimTime::ZERO, &n, rtype::NEUT).is_none());
+    }
+}

@@ -1,0 +1,41 @@
+//! # nn-netsim — deterministic network simulator
+//!
+//! The substitute for the paper's Click/Linux testbed and for the ISPs of
+//! its scenarios (see DESIGN.md §3). A single-threaded, seeded
+//! discrete-event engine moves whole IPv4 frames between [`sim::Node`]s
+//! over links with bandwidth, propagation delay, queue disciplines
+//! ([`queue`]: drop-tail, DSCP strict priority, RED, token-bucket
+//! policing) and optional fault injection.
+//!
+//! * [`sim`] — the event engine, links and the `Node` trait.
+//! * [`routing`] — latency-weighted shortest paths with anycast (the
+//!   neutralizer's service address model, §3 of the paper).
+//! * [`policy`] — the discriminatory-ISP adversary: DPI, encrypted-traffic
+//!   and key-setup detectors, drop/delay/throttle/DSCP actions (§1, §3.6).
+//! * [`nodes`] — generic router and sink nodes.
+//! * [`stats`] — counters, series, per-flow delay/goodput accounting.
+//! * [`time`] — nanosecond simulated time.
+//!
+//! Everything is deterministic under a fixed seed: the same topology and
+//! seed reproduce byte-identical outcomes, which EXPERIMENTS.md relies on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nodes;
+pub mod policy;
+pub mod queue;
+pub mod routing;
+pub mod sim;
+pub mod stats;
+pub mod time;
+
+pub use nodes::{RouterNode, SinkNode};
+pub use policy::{Action, MatchExpr, PolicyEngine, Rule, Verdict};
+pub use queue::{DropTail, DscpPriority, EnqueueResult, Queue, Red, TokenBucket};
+pub use routing::{compute_routes, RouteTable};
+pub use sim::{
+    Context, FaultConfig, IfaceId, LinkConfig, LinkCounters, Node, NodeId, QueueKind, Simulator,
+};
+pub use stats::{FlowKey, FlowStats, Stats};
+pub use time::{tx_time, SimTime};

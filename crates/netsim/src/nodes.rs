@@ -1,0 +1,272 @@
+//! Generic forwarding nodes.
+//!
+//! [`RouterNode`] is the workhorse: an IP forwarder with a route table and
+//! an optional discrimination [`PolicyEngine`] — a plain backbone router
+//! when the policy is empty, a discriminatory ISP's router when it is not
+//! (§1/§2 of the paper). [`SinkNode`] terminates and counts traffic for
+//! tests and attack experiments.
+
+use crate::policy::{PolicyEngine, Verdict};
+use crate::routing::RouteTable;
+use crate::sim::{Context, IfaceId, Node};
+use nn_packet::Ipv4Packet;
+use std::collections::HashMap;
+
+/// An IP router: TTL handling, policy evaluation, longest-prefix-match
+/// forwarding.
+pub struct RouterNode {
+    routes: RouteTable,
+    policy: PolicyEngine,
+    /// Frames parked by `Delay` verdicts, keyed by timer token.
+    pending: HashMap<u64, Vec<u8>>,
+    next_token: u64,
+    /// Statistics prefix, usually the node name.
+    stats_name: String,
+}
+
+impl RouterNode {
+    /// A router with no routes and an empty (all-forward) policy.
+    pub fn new(stats_name: impl Into<String>) -> Self {
+        RouterNode {
+            routes: RouteTable::new(),
+            policy: PolicyEngine::new(),
+            pending: HashMap::new(),
+            next_token: 0,
+            stats_name: stats_name.into(),
+        }
+    }
+
+    /// Installs the forwarding table (normally from
+    /// [`crate::routing::compute_routes`]).
+    pub fn set_routes(&mut self, routes: RouteTable) {
+        self.routes = routes;
+    }
+
+    /// Installs a discrimination policy.
+    pub fn set_policy(&mut self, policy: PolicyEngine) {
+        self.policy = policy;
+    }
+
+    /// Read access to the policy (rule hit counts).
+    pub fn policy(&self) -> &PolicyEngine {
+        &self.policy
+    }
+
+    /// Read access to the routes.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    fn forward(&mut self, ctx: &mut Context, frame: Vec<u8>) {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else {
+            ctx.stats.count(&format!("{}.parse_error", self.stats_name));
+            return;
+        };
+        let dst = ip.dst_addr();
+        match self.routes.lookup(dst) {
+            Some(iface) => ctx.send(iface, frame),
+            None => ctx.stats.count(&format!("{}.no_route", self.stats_name)),
+        }
+    }
+}
+
+impl Node for RouterNode {
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, mut frame: Vec<u8>) {
+        // TTL processing.
+        {
+            let Ok(mut ip) = Ipv4Packet::new_checked(&mut frame[..]) else {
+                ctx.stats.count(&format!("{}.parse_error", self.stats_name));
+                return;
+            };
+            let ttl = ip.ttl();
+            if ttl <= 1 {
+                ctx.stats.count(&format!("{}.ttl_expired", self.stats_name));
+                return;
+            }
+            ip.set_ttl(ttl - 1);
+        }
+        // Policy.
+        let draw: f64 = rand::Rng::gen(ctx.rng);
+        let verdict = self
+            .policy
+            .evaluate(ctx.now.as_nanos(), &frame, draw);
+        match verdict {
+            Verdict::Forward => self.forward(ctx, frame),
+            Verdict::ForwardDscp(dscp) => {
+                if let Ok(mut ip) = Ipv4Packet::new_checked(&mut frame[..]) {
+                    ip.set_dscp(dscp);
+                }
+                self.forward(ctx, frame);
+            }
+            Verdict::Drop(rule) => {
+                ctx.stats
+                    .count(&format!("{}.policy_drop.{}", self.stats_name, rule));
+            }
+            Verdict::Delay(extra) => {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.pending.insert(token, frame);
+                ctx.set_timer(extra, token);
+                ctx.stats
+                    .count(&format!("{}.policy_delayed", self.stats_name));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context, token: u64) {
+        if let Some(frame) = self.pending.remove(&token) {
+            self.forward(ctx, frame);
+        }
+    }
+}
+
+/// Terminates every frame it receives and counts by source address.
+#[derive(Default)]
+pub struct SinkNode {
+    /// Total frames received.
+    pub rx_frames: u64,
+    /// Total bytes received.
+    pub rx_bytes: u64,
+    /// Frames per source address.
+    pub by_source: HashMap<u32, u64>,
+}
+
+impl SinkNode {
+    /// Empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Node for SinkNode {
+    fn on_packet(&mut self, _ctx: &mut Context, _iface: IfaceId, frame: Vec<u8>) {
+        self.rx_frames += 1;
+        self.rx_bytes += frame.len() as u64;
+        if let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) {
+            *self.by_source.entry(ip.src_addr().to_u32()).or_insert(0) += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{Action, MatchExpr, Rule};
+    use crate::routing::compute_routes;
+    use crate::sim::{LinkConfig, Simulator};
+    use nn_packet::{build_udp, Ipv4Addr, Ipv4Cidr};
+    use std::time::Duration;
+
+    const HOST_A: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 1);
+    const HOST_B: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 1);
+
+    /// host_a(sink) -- router -- host_b(sink); returns (sim, a, r, b).
+    fn triangle() -> (Simulator, usize, usize, usize) {
+        let mut sim = Simulator::new(11);
+        let a = sim.add_node("a", Box::new(SinkNode::new()));
+        let r = sim.add_node("r", Box::new(RouterNode::new("r")));
+        let b = sim.add_node("b", Box::new(SinkNode::new()));
+        let cfg = LinkConfig::new(1_000_000_000, Duration::from_millis(1));
+        sim.connect_sym(a, r, cfg);
+        sim.connect_sym(r, b, cfg);
+        let prefixes = vec![
+            (Ipv4Cidr::new(HOST_A, 24), a),
+            (Ipv4Cidr::new(HOST_B, 24), b),
+        ];
+        let tables = compute_routes(&sim.edges(), &prefixes, sim.node_count());
+        sim.node_mut::<RouterNode>(r)
+            .unwrap()
+            .set_routes(tables[&r].clone());
+        (sim, a, r, b)
+    }
+
+    #[test]
+    fn router_forwards_by_lpm() {
+        let (mut sim, _a, r, b) = triangle();
+        let frame = build_udp(HOST_A, HOST_B, 0, 1, 2, b"fwd").unwrap();
+        sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
+        sim.run(100);
+        assert_eq!(sim.node_ref::<SinkNode>(b).unwrap().rx_frames, 1);
+    }
+
+    #[test]
+    fn router_decrements_ttl_and_drops_expired() {
+        let (mut sim, _a, r, b) = triangle();
+        let mut frame = build_udp(HOST_A, HOST_B, 0, 1, 2, b"x").unwrap();
+        // Force TTL 1: router must drop.
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut frame[..]);
+            ip.set_ttl(1);
+        }
+        sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
+        sim.run(100);
+        assert_eq!(sim.node_ref::<SinkNode>(b).unwrap().rx_frames, 0);
+        assert_eq!(sim.stats().counter("r.ttl_expired"), 1);
+    }
+
+    #[test]
+    fn router_counts_unroutable() {
+        let (mut sim, _a, r, _b) = triangle();
+        let frame = build_udp(HOST_A, Ipv4Addr::new(99, 9, 9, 9), 0, 1, 2, b"x").unwrap();
+        sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
+        sim.run(100);
+        assert_eq!(sim.stats().counter("r.no_route"), 1);
+    }
+
+    #[test]
+    fn policy_drop_blocks_victim_only() {
+        let (mut sim, _a, r, b) = triangle();
+        let victim_rule = Rule::new(
+            "block-victim",
+            MatchExpr::SrcPrefix(Ipv4Cidr::new(HOST_A, 32)),
+            Action::Drop { prob: 1.0 },
+        );
+        sim.node_mut::<RouterNode>(r)
+            .unwrap()
+            .set_policy(PolicyEngine::new().with(victim_rule));
+        let from_victim = build_udp(HOST_A, HOST_B, 0, 1, 2, b"v").unwrap();
+        let from_other = build_udp(Ipv4Addr::new(10, 0, 1, 99), HOST_B, 0, 1, 2, b"o").unwrap();
+        sim.inject(crate::time::SimTime::ZERO, r, 0, from_victim);
+        sim.inject(crate::time::SimTime::ZERO, r, 0, from_other);
+        sim.run(100);
+        let sink = sim.node_ref::<SinkNode>(b).unwrap();
+        assert_eq!(sink.rx_frames, 1);
+        assert_eq!(sim.stats().counter("r.policy_drop.block-victim"), 1);
+    }
+
+    #[test]
+    fn policy_delay_adds_latency() {
+        let (mut sim, _a, r, b) = triangle();
+        sim.node_mut::<RouterNode>(r).unwrap().set_policy(
+            PolicyEngine::new().with(Rule::new(
+                "lag",
+                MatchExpr::True,
+                Action::Delay {
+                    extra: Duration::from_millis(50),
+                },
+            )),
+        );
+        let frame = build_udp(HOST_A, HOST_B, 0, 1, 2, b"slow").unwrap();
+        sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
+        sim.run(100);
+        // Delivery = 50ms policy delay + serialization + 1ms link.
+        assert!(sim.now() >= crate::time::SimTime::from_millis(51));
+        assert_eq!(sim.node_ref::<SinkNode>(b).unwrap().rx_frames, 1);
+        assert_eq!(sim.stats().counter("r.policy_delayed"), 1);
+    }
+
+    #[test]
+    fn sink_counts_by_source() {
+        let (mut sim, a, _r, _b) = triangle();
+        let f1 = build_udp(HOST_B, HOST_A, 0, 1, 2, b"1").unwrap();
+        let f2 = build_udp(HOST_B, HOST_A, 0, 1, 2, b"2").unwrap();
+        let f3 = build_udp(Ipv4Addr::new(9, 9, 9, 9), HOST_A, 0, 1, 2, b"3").unwrap();
+        for f in [f1, f2, f3] {
+            sim.inject(crate::time::SimTime::ZERO, a, 0, f);
+        }
+        sim.run(100);
+        let sink = sim.node_ref::<SinkNode>(a).unwrap();
+        assert_eq!(sink.rx_frames, 3);
+        assert_eq!(sink.by_source[&HOST_B.to_u32()], 2);
+    }
+}

@@ -1,0 +1,224 @@
+//! Static routing.
+//!
+//! The simulator uses precomputed shortest-path routes (by propagation
+//! latency), standing in for the converged BGP/IGP state of the real
+//! Internet. Anycast — which the paper uses for the neutralizer service
+//! address (§3) — falls out naturally: when several nodes advertise the
+//! same prefix, multi-source Dijkstra routes every sender to the nearest
+//! advertiser, exactly like IP anycast.
+
+use crate::sim::{IfaceId, NodeId};
+use nn_packet::{Ipv4Addr, Ipv4Cidr};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::time::Duration;
+
+/// Longest-prefix-match forwarding table.
+#[derive(Debug, Clone, Default)]
+pub struct RouteTable {
+    /// (prefix, out-iface), kept sorted by descending prefix length.
+    routes: Vec<(Ipv4Cidr, IfaceId)>,
+}
+
+impl RouteTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a route. Later insertions of an identical prefix replace the
+    /// earlier one.
+    pub fn add(&mut self, prefix: Ipv4Cidr, iface: IfaceId) {
+        if let Some(slot) = self.routes.iter_mut().find(|(p, _)| *p == prefix) {
+            slot.1 = iface;
+            return;
+        }
+        self.routes.push((prefix, iface));
+        self.routes.sort_by(|a, b| b.0.prefix_len.cmp(&a.0.prefix_len));
+    }
+
+    /// Longest-prefix match.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<IfaceId> {
+        self.routes
+            .iter()
+            .find(|(p, _)| p.contains(addr))
+            .map(|&(_, iface)| iface)
+    }
+
+    /// Number of routes installed.
+    pub fn len(&self) -> usize {
+        self.routes.len()
+    }
+
+    /// True when no routes are installed.
+    pub fn is_empty(&self) -> bool {
+        self.routes.is_empty()
+    }
+}
+
+/// Computes per-node forwarding tables over the given directed edges.
+///
+/// `edges` come from [`crate::sim::Simulator::edges`]; `prefixes` maps
+/// each advertised prefix to its owner node(s) — several owners of one
+/// prefix form an anycast group. Path cost is propagation latency; ties
+/// break deterministically on (node id, iface id).
+pub fn compute_routes(
+    edges: &[(NodeId, IfaceId, NodeId, Duration)],
+    prefixes: &[(Ipv4Cidr, NodeId)],
+    node_count: usize,
+) -> HashMap<NodeId, RouteTable> {
+    // Group anycast owners.
+    let mut groups: HashMap<Ipv4Cidr, Vec<NodeId>> = HashMap::new();
+    for &(prefix, owner) in prefixes {
+        groups.entry(prefix).or_default().push(owner);
+    }
+    // Reverse adjacency for Dijkstra *toward* the owners.
+    let mut rev: Vec<Vec<(NodeId, u128)>> = vec![Vec::new(); node_count];
+    for &(from, _iface, to, lat) in edges {
+        rev[to].push((from, lat.as_nanos().max(1)));
+    }
+
+    let mut tables: HashMap<NodeId, RouteTable> = HashMap::new();
+    let mut sorted_groups: Vec<(&Ipv4Cidr, &Vec<NodeId>)> = groups.iter().collect();
+    sorted_groups.sort_by_key(|(p, _)| (p.prefix_len, p.addr));
+    for (prefix, owners) in sorted_groups {
+        // Multi-source Dijkstra: dist[u] = cost from u to nearest owner.
+        let mut dist = vec![u128::MAX; node_count];
+        let mut heap: BinaryHeap<Reverse<(u128, NodeId)>> = BinaryHeap::new();
+        for &o in owners {
+            dist[o] = 0;
+            heap.push(Reverse((0, o)));
+        }
+        while let Some(Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            for &(v, w) in &rev[u] {
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(Reverse((nd, v)));
+                }
+            }
+        }
+        // Choose each node's best out-edge toward the prefix.
+        for node in 0..node_count {
+            if owners.contains(&node) || dist[node] == u128::MAX {
+                continue;
+            }
+            let mut best: Option<(u128, IfaceId)> = None;
+            for &(from, iface, to, lat) in edges {
+                if from != node || dist[to] == u128::MAX {
+                    continue;
+                }
+                let cost = dist[to].saturating_add(lat.as_nanos().max(1));
+                let better = match best {
+                    None => true,
+                    Some((bc, bi)) => cost < bc || (cost == bc && iface < bi),
+                };
+                if better {
+                    best = Some((cost, iface));
+                }
+            }
+            if let Some((_, iface)) = best {
+                tables.entry(node).or_default().add(*prefix, iface);
+            }
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cidr(a: u8, b: u8, c: u8, d: u8, len: u8) -> Ipv4Cidr {
+        Ipv4Cidr::new(Ipv4Addr::new(a, b, c, d), len)
+    }
+
+    #[test]
+    fn lpm_prefers_longest() {
+        let mut t = RouteTable::new();
+        t.add(cidr(10, 0, 0, 0, 8), 0);
+        t.add(cidr(10, 1, 0, 0, 16), 1);
+        t.add(cidr(10, 1, 2, 0, 24), 2);
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 2, 3)), Some(2));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 1, 9, 9)), Some(1));
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 200, 0, 1)), Some(0));
+        assert_eq!(t.lookup(Ipv4Addr::new(11, 0, 0, 1)), None);
+    }
+
+    #[test]
+    fn replacing_route_updates_iface() {
+        let mut t = RouteTable::new();
+        t.add(cidr(10, 0, 0, 0, 8), 0);
+        t.add(cidr(10, 0, 0, 0, 8), 3);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(Ipv4Addr::new(10, 0, 0, 1)), Some(3));
+    }
+
+    /// Line topology: 0 --(iface0)-- 1 --(iface1)-- 2, host prefix at 2.
+    #[test]
+    fn line_topology_routes() {
+        let ms = Duration::from_millis;
+        let edges = vec![
+            (0, 0, 1, ms(1)),
+            (1, 0, 0, ms(1)),
+            (1, 1, 2, ms(1)),
+            (2, 0, 1, ms(1)),
+        ];
+        let prefixes = vec![(cidr(10, 0, 2, 0, 24), 2usize)];
+        let tables = compute_routes(&edges, &prefixes, 3);
+        assert_eq!(tables[&0].lookup(Ipv4Addr::new(10, 0, 2, 5)), Some(0));
+        assert_eq!(tables[&1].lookup(Ipv4Addr::new(10, 0, 2, 5)), Some(1));
+        assert!(!tables.contains_key(&2), "owner needs no route to itself");
+    }
+
+    /// Triangle with one slow edge: traffic takes the two-hop fast path.
+    #[test]
+    fn latency_weighted_shortest_path() {
+        let ms = Duration::from_millis;
+        // 0-1 fast, 1-2 fast, 0-2 slow.
+        let edges = vec![
+            (0, 0, 1, ms(1)),
+            (1, 0, 0, ms(1)),
+            (1, 1, 2, ms(1)),
+            (2, 0, 1, ms(1)),
+            (0, 1, 2, ms(10)),
+            (2, 1, 0, ms(10)),
+        ];
+        let prefixes = vec![(cidr(10, 0, 2, 0, 24), 2usize)];
+        let tables = compute_routes(&edges, &prefixes, 3);
+        // Node 0 should go via node 1 (iface 0), not directly (iface 1).
+        assert_eq!(tables[&0].lookup(Ipv4Addr::new(10, 0, 2, 1)), Some(0));
+    }
+
+    /// Anycast: two owners of one prefix; each sender routes to nearest.
+    #[test]
+    fn anycast_routes_to_nearest_owner() {
+        let ms = Duration::from_millis;
+        // 0 -- 1 -- 2, owners at 0 and 2 of the same prefix.
+        let edges = vec![
+            (0, 0, 1, ms(1)),
+            (1, 0, 0, ms(1)),
+            (1, 1, 2, ms(5)),
+            (2, 0, 1, ms(5)),
+        ];
+        let anycast = cidr(198, 18, 0, 0, 16);
+        let prefixes = vec![(anycast, 0usize), (anycast, 2usize)];
+        let tables = compute_routes(&edges, &prefixes, 3);
+        // Node 1 is nearer to owner 0 (1ms) than to owner 2 (5ms).
+        assert_eq!(tables[&1].lookup(Ipv4Addr::new(198, 18, 0, 1)), Some(0));
+    }
+
+    #[test]
+    fn unreachable_nodes_get_no_route() {
+        let edges = vec![(0usize, 0usize, 1usize, Duration::from_millis(1)),
+                         (1, 0, 0, Duration::from_millis(1))];
+        // Node 2 is disconnected.
+        let prefixes = vec![(cidr(10, 0, 0, 0, 8), 0usize)];
+        let tables = compute_routes(&edges, &prefixes, 3);
+        assert!(tables.get(&2).is_none());
+        assert_eq!(tables[&1].lookup(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
+    }
+}

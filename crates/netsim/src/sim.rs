@@ -1,0 +1,779 @@
+//! The discrete-event engine.
+//!
+//! This is the substitute for the paper's Click/Linux testbed (§4): a
+//! deterministic, seeded, single-threaded event loop moving whole IPv4
+//! frames between nodes over links with bandwidth, propagation delay,
+//! queues and optional fault injection. Determinism matters because every
+//! experiment in EXPERIMENTS.md must be exactly reproducible: all
+//! randomness flows from one seeded RNG, and simultaneous events fire in
+//! submission order.
+
+use crate::queue::{DropTail, DscpPriority, EnqueueResult, Queue, Red};
+use crate::stats::Stats;
+use crate::time::{tx_time, SimTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+/// Index of a node in the simulator.
+pub type NodeId = usize;
+/// Index of an interface within one node's interface list.
+pub type IfaceId = usize;
+
+/// Behaviour plugged into the simulator. Host stacks, routers,
+/// neutralizers and attack generators all implement this.
+pub trait Node: Any {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Context) {}
+    /// Called when a frame is delivered on `iface`.
+    fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: Vec<u8>);
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, _ctx: &mut Context, _token: u64) {}
+}
+
+/// Side effects a node may request during a callback. Sends and timers
+/// are buffered and applied by the engine after the callback returns, so
+/// node code never aliases engine internals.
+pub struct Context<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// The node being called.
+    pub node_id: NodeId,
+    /// Simulation-wide measurement sink.
+    pub stats: &'a mut Stats,
+    /// The deterministic RNG (one per simulation).
+    pub rng: &'a mut StdRng,
+    outbox: Vec<(IfaceId, Vec<u8>)>,
+    timers: Vec<(Duration, u64)>,
+}
+
+impl Context<'_> {
+    /// Queues `frame` for transmission out of `iface`.
+    pub fn send(&mut self, iface: IfaceId, frame: Vec<u8>) {
+        self.outbox.push((iface, frame));
+    }
+
+    /// Schedules [`Node::on_timer`] with `token` after `delay`.
+    pub fn set_timer(&mut self, delay: Duration, token: u64) {
+        self.timers.push((delay, token));
+    }
+}
+
+/// Queue discipline for a link direction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueueKind {
+    /// FIFO tail-drop.
+    DropTail,
+    /// Strict DSCP priority (three bands).
+    DscpPriority,
+    /// Random early detection.
+    Red {
+        /// Early-drop ramp start (bytes).
+        min_bytes: usize,
+        /// Certain-drop threshold (bytes).
+        max_bytes: usize,
+        /// Drop probability at the ramp top.
+        max_prob: f64,
+    },
+}
+
+/// Random fault injection applied as frames leave a link's serializer.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Probability a frame is silently dropped.
+    pub drop_prob: f64,
+    /// Probability one random byte is flipped.
+    pub corrupt_prob: f64,
+}
+
+/// One direction of a point-to-point link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// Serialization rate in bits per second.
+    pub bandwidth_bps: u64,
+    /// Propagation delay.
+    pub latency: Duration,
+    /// Queue capacity in bytes.
+    pub queue_bytes: usize,
+    /// Queue discipline.
+    pub queue: QueueKind,
+    /// Fault injection.
+    pub fault: FaultConfig,
+}
+
+impl LinkConfig {
+    /// A sensible default: `bandwidth`, `latency`, 256 KiB drop-tail.
+    pub fn new(bandwidth_bps: u64, latency: Duration) -> Self {
+        LinkConfig {
+            bandwidth_bps,
+            latency,
+            queue_bytes: 256 * 1024,
+            queue: QueueKind::DropTail,
+            fault: FaultConfig::default(),
+        }
+    }
+
+    /// Replaces the queue discipline.
+    pub fn with_queue(mut self, kind: QueueKind, capacity_bytes: usize) -> Self {
+        self.queue = kind;
+        self.queue_bytes = capacity_bytes;
+        self
+    }
+
+    /// Adds fault injection.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
+        self
+    }
+}
+
+/// Per-direction link counters, readable after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkCounters {
+    /// Frames fully serialized onto the wire.
+    pub tx_frames: u64,
+    /// Bytes serialized.
+    pub tx_bytes: u64,
+    /// Frames dropped by the queue discipline.
+    pub queue_drops: u64,
+    /// Frames dropped or corrupted by fault injection.
+    pub fault_drops: u64,
+    /// Frames delivered to the peer node.
+    pub delivered: u64,
+}
+
+struct LinkDir {
+    to_node: NodeId,
+    to_iface: IfaceId,
+    config: LinkConfig,
+    queue: Box<dyn Queue>,
+    busy: bool,
+    counters: LinkCounters,
+}
+
+enum EventKind {
+    Deliver {
+        node: NodeId,
+        iface: IfaceId,
+        frame: Vec<u8>,
+    },
+    TxDone {
+        dir: usize,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
+}
+
+struct Event {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    now: SimTime,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    names: Vec<String>,
+    /// node -> iface -> outgoing direction index.
+    ifaces: Vec<Vec<usize>>,
+    dirs: Vec<LinkDir>,
+    rng: StdRng,
+    stats: Stats,
+    started: bool,
+    events_processed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            events: BinaryHeap::new(),
+            seq: 0,
+            nodes: Vec::new(),
+            names: Vec::new(),
+            ifaces: Vec::new(),
+            dirs: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            stats: Stats::new(),
+            started: false,
+            events_processed: 0,
+        }
+    }
+
+    /// Adds a node; returns its id.
+    pub fn add_node(&mut self, name: impl Into<String>, node: Box<dyn Node>) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(Some(node));
+        self.names.push(name.into());
+        self.ifaces.push(Vec::new());
+        id
+    }
+
+    /// Node name (for reports).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.names[id]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Connects `a` and `b` with per-direction configs; returns the new
+    /// interface ids `(on_a, on_b)`.
+    pub fn connect(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        a_to_b: LinkConfig,
+        b_to_a: LinkConfig,
+    ) -> (IfaceId, IfaceId) {
+        let iface_a = self.ifaces[a].len();
+        let iface_b = self.ifaces[b].len();
+        let dir_ab = self.dirs.len();
+        self.dirs.push(LinkDir {
+            to_node: b,
+            to_iface: iface_b,
+            queue: make_queue(&a_to_b),
+            config: a_to_b,
+            busy: false,
+            counters: LinkCounters::default(),
+        });
+        let dir_ba = self.dirs.len();
+        self.dirs.push(LinkDir {
+            to_node: a,
+            to_iface: iface_a,
+            queue: make_queue(&b_to_a),
+            config: b_to_a,
+            busy: false,
+            counters: LinkCounters::default(),
+        });
+        self.ifaces[a].push(dir_ab);
+        self.ifaces[b].push(dir_ba);
+        (iface_a, iface_b)
+    }
+
+    /// Connects with the same config in both directions.
+    pub fn connect_sym(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (IfaceId, IfaceId) {
+        self.connect(a, b, cfg, cfg)
+    }
+
+    /// Directed topology edges `(from, iface, to, latency)` — input for
+    /// route computation.
+    pub fn edges(&self) -> Vec<(NodeId, IfaceId, NodeId, Duration)> {
+        let mut out = Vec::new();
+        for (node, ifaces) in self.ifaces.iter().enumerate() {
+            for (iface, &dir) in ifaces.iter().enumerate() {
+                let d = &self.dirs[dir];
+                out.push((node, iface, d.to_node, d.config.latency));
+            }
+        }
+        out
+    }
+
+    /// Counters for the direction leaving `node` on `iface`.
+    pub fn link_counters(&self, node: NodeId, iface: IfaceId) -> LinkCounters {
+        self.dirs[self.ifaces[node][iface]].counters
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Measurement sink (read side).
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Measurement sink (write side, for harness-level annotations).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Typed access to a node (e.g. to read a host's app metrics after a
+    /// run). Uses `dyn Node -> dyn Any` upcasting.
+    pub fn node_ref<T: Node>(&self, id: NodeId) -> Option<&T> {
+        let node = self.nodes[id].as_ref()?;
+        (node.as_ref() as &dyn Any).downcast_ref::<T>()
+    }
+
+    /// Typed mutable access to a node (e.g. to install routes).
+    pub fn node_mut<T: Node>(&mut self, id: NodeId) -> Option<&mut T> {
+        let node = self.nodes[id].as_mut()?;
+        (node.as_mut() as &mut dyn Any).downcast_mut::<T>()
+    }
+
+    fn push_event(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// Injects a frame as if it arrived at `node` on `iface` at `at`.
+    /// Useful for tests and for traffic sources outside the topology.
+    pub fn inject(&mut self, at: SimTime, node: NodeId, iface: IfaceId, frame: Vec<u8>) {
+        assert!(at >= self.now, "cannot inject into the past");
+        self.push_event(at, EventKind::Deliver { node, iface, frame });
+    }
+
+    /// Schedules a timer for `node` without a context (harness use).
+    pub fn schedule_timer(&mut self, at: SimTime, node: NodeId, token: u64) {
+        assert!(at >= self.now, "cannot schedule into the past");
+        self.push_event(at, EventKind::Timer { node, token });
+    }
+
+    /// Calls `on_start` on every node (once).
+    pub fn start(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for id in 0..self.nodes.len() {
+            self.dispatch(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Runs until the event queue drains or `limit` is reached.
+    /// Returns the number of events processed.
+    pub fn run(&mut self, limit: u64) -> u64 {
+        self.start();
+        let mut n = 0;
+        while n < limit {
+            if !self.step() {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+
+    /// Runs until simulated time reaches `until` (events at exactly
+    /// `until` are processed) or the queue drains.
+    pub fn run_until(&mut self, until: SimTime) {
+        self.start();
+        loop {
+            match self.events.peek() {
+                Some(Reverse(e)) if e.time <= until => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < until {
+            self.now = until;
+        }
+    }
+
+    /// Runs for `d` more simulated time.
+    pub fn run_for(&mut self, d: Duration) {
+        self.run_until(self.now + d);
+    }
+
+    /// Processes one event; false when the queue is empty.
+    fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.events.pop() else {
+            return false;
+        };
+        debug_assert!(event.time >= self.now, "time went backwards");
+        self.now = event.time;
+        self.events_processed += 1;
+        match event.kind {
+            EventKind::Deliver { node, iface, frame } => {
+                self.dispatch(node, |n, ctx| n.on_packet(ctx, iface, frame));
+            }
+            EventKind::Timer { node, token } => {
+                self.dispatch(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::TxDone { dir } => {
+                self.dirs[dir].busy = false;
+                if let Some(next) = self.dirs[dir].queue.dequeue() {
+                    self.start_tx(dir, next.frame);
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs one node callback and applies its buffered effects.
+    fn dispatch<F>(&mut self, node_id: NodeId, f: F)
+    where
+        F: FnOnce(&mut Box<dyn Node>, &mut Context),
+    {
+        let mut node = self.nodes[node_id]
+            .take()
+            .expect("re-entrant dispatch on a node");
+        let mut ctx = Context {
+            now: self.now,
+            node_id,
+            stats: &mut self.stats,
+            rng: &mut self.rng,
+            outbox: Vec::new(),
+            timers: Vec::new(),
+        };
+        f(&mut node, &mut ctx);
+        let Context {
+            outbox, timers, ..
+        } = ctx;
+        self.nodes[node_id] = Some(node);
+        for (iface, frame) in outbox {
+            let dir = *self.ifaces[node_id]
+                .get(iface)
+                .unwrap_or_else(|| panic!("node {node_id} sent on unknown iface {iface}"));
+            self.transmit(dir, frame);
+        }
+        for (delay, token) in timers {
+            self.push_event(self.now + delay, EventKind::Timer {
+                node: node_id,
+                token,
+            });
+        }
+    }
+
+    /// Offers a frame to a link direction: straight to the serializer if
+    /// idle, otherwise through the queue discipline.
+    fn transmit(&mut self, dir: usize, frame: Vec<u8>) {
+        if self.dirs[dir].busy {
+            let draw: f64 = self.rng.gen();
+            match self.dirs[dir].queue.enqueue(frame, draw) {
+                EnqueueResult::Accepted => {}
+                EnqueueResult::Dropped => {
+                    self.dirs[dir].counters.queue_drops += 1;
+                }
+            }
+        } else {
+            self.start_tx(dir, frame);
+        }
+    }
+
+    fn start_tx(&mut self, dir: usize, mut frame: Vec<u8>) {
+        let d = &mut self.dirs[dir];
+        d.busy = true;
+        let serialization = tx_time(frame.len(), d.config.bandwidth_bps);
+        d.counters.tx_frames += 1;
+        d.counters.tx_bytes += frame.len() as u64;
+        let done_at = self.now + serialization;
+        let deliver_at = done_at + d.config.latency;
+        let to_node = d.to_node;
+        let to_iface = d.to_iface;
+        // Fault injection at the moment the frame leaves the serializer.
+        let fault = d.config.fault;
+        let mut deliver = true;
+        if fault.drop_prob > 0.0 && self.rng.gen::<f64>() < fault.drop_prob {
+            deliver = false;
+            self.dirs[dir].counters.fault_drops += 1;
+        } else if fault.corrupt_prob > 0.0 && self.rng.gen::<f64>() < fault.corrupt_prob {
+            if !frame.is_empty() {
+                let idx = self.rng.gen_range(0..frame.len());
+                frame[idx] ^= 1 << self.rng.gen_range(0..8);
+                self.dirs[dir].counters.fault_drops += 1;
+            }
+        }
+        if deliver {
+            self.dirs[dir].counters.delivered += 1;
+            self.push_event(deliver_at, EventKind::Deliver {
+                node: to_node,
+                iface: to_iface,
+                frame,
+            });
+        }
+        self.push_event(done_at, EventKind::TxDone { dir });
+    }
+}
+
+fn make_queue(cfg: &LinkConfig) -> Box<dyn Queue> {
+    match cfg.queue {
+        QueueKind::DropTail => Box::new(DropTail::new(cfg.queue_bytes)),
+        QueueKind::DscpPriority => Box::new(DscpPriority::new(cfg.queue_bytes)),
+        QueueKind::Red {
+            min_bytes,
+            max_bytes,
+            max_prob,
+        } => Box::new(Red::new(cfg.queue_bytes, min_bytes, max_bytes, max_prob)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts deliveries and echoes frames back out the arrival iface.
+    struct Echo {
+        rx: u64,
+    }
+    impl Node for Echo {
+        fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: Vec<u8>) {
+            self.rx += 1;
+            ctx.send(iface, frame);
+        }
+    }
+
+    /// Sends `n` frames at start, counts replies, measures RTT.
+    struct Pinger {
+        n: usize,
+        frame_len: usize,
+        replies: u64,
+        sent_at: Vec<SimTime>,
+        rtts: Vec<Duration>,
+    }
+    impl Node for Pinger {
+        fn on_start(&mut self, ctx: &mut Context) {
+            for _ in 0..self.n {
+                self.sent_at.push(ctx.now);
+                ctx.send(0, vec![0u8; self.frame_len]);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, _frame: Vec<u8>) {
+            let idx = self.replies as usize;
+            self.rtts.push(ctx.now - self.sent_at[idx]);
+            self.replies += 1;
+        }
+    }
+
+    fn mbps(m: u64) -> u64 {
+        m * 1_000_000
+    }
+
+    #[test]
+    fn ping_rtt_matches_link_model() {
+        let mut sim = Simulator::new(1);
+        let pinger = sim.add_node(
+            "pinger",
+            Box::new(Pinger {
+                n: 1,
+                frame_len: 1250,
+                replies: 0,
+                sent_at: vec![],
+                rtts: vec![],
+            }),
+        );
+        let echo = sim.add_node("echo", Box::new(Echo { rx: 0 }));
+        sim.connect_sym(
+            pinger,
+            echo,
+            LinkConfig::new(mbps(10), Duration::from_millis(5)),
+        );
+        sim.run(1000);
+        let p = sim.node_ref::<Pinger>(pinger).unwrap();
+        assert_eq!(p.replies, 1);
+        // 1250 B at 10 Mbps = 1 ms serialization each way + 5 ms each way.
+        assert_eq!(p.rtts[0], Duration::from_millis(12));
+    }
+
+    #[test]
+    fn serialization_queues_back_to_back_frames() {
+        let mut sim = Simulator::new(2);
+        let pinger = sim.add_node(
+            "pinger",
+            Box::new(Pinger {
+                n: 3,
+                frame_len: 1250,
+                replies: 0,
+                sent_at: vec![],
+                rtts: vec![],
+            }),
+        );
+        let echo = sim.add_node("echo", Box::new(Echo { rx: 0 }));
+        sim.connect_sym(
+            pinger,
+            echo,
+            LinkConfig::new(mbps(10), Duration::from_millis(5)),
+        );
+        sim.run(1000);
+        let p = sim.node_ref::<Pinger>(pinger).unwrap();
+        assert_eq!(p.replies, 3);
+        // Forward-path queueing staggers echo arrivals at 6/7/8 ms, after
+        // which the replies pipeline: one extra millisecond per frame.
+        assert_eq!(p.rtts[0], Duration::from_millis(12));
+        assert_eq!(p.rtts[1], Duration::from_millis(13));
+        assert_eq!(p.rtts[2], Duration::from_millis(14));
+        let c = sim.link_counters(pinger, 0);
+        assert_eq!(c.tx_frames, 3);
+        assert_eq!(c.delivered, 3);
+        assert_eq!(c.queue_drops, 0);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut sim = Simulator::new(3);
+        let pinger = sim.add_node(
+            "pinger",
+            Box::new(Pinger {
+                n: 10,
+                frame_len: 1000,
+                replies: 0,
+                sent_at: vec![],
+                rtts: vec![],
+            }),
+        );
+        let echo = sim.add_node("echo", Box::new(Echo { rx: 0 }));
+        // Queue holds only 2 frames beyond the one in flight.
+        sim.connect_sym(
+            pinger,
+            echo,
+            LinkConfig::new(mbps(10), Duration::from_millis(1)).with_queue(QueueKind::DropTail, 2000),
+        );
+        sim.run(10_000);
+        let c = sim.link_counters(pinger, 0);
+        assert_eq!(c.tx_frames, 3, "1 in flight + 2 queued");
+        assert_eq!(c.queue_drops, 7);
+    }
+
+    #[test]
+    fn fault_injection_drops_frames() {
+        let mut sim = Simulator::new(4);
+        let pinger = sim.add_node(
+            "pinger",
+            Box::new(Pinger {
+                n: 200,
+                frame_len: 100,
+                replies: 0,
+                sent_at: vec![],
+                rtts: vec![],
+            }),
+        );
+        let echo = sim.add_node("echo", Box::new(Echo { rx: 0 }));
+        let lossy = LinkConfig::new(mbps(100), Duration::from_micros(10)).with_fault(FaultConfig {
+            drop_prob: 0.5,
+            corrupt_prob: 0.0,
+        });
+        let clean = LinkConfig::new(mbps(100), Duration::from_micros(10));
+        sim.connect(pinger, echo, lossy, clean);
+        sim.run(100_000);
+        let e = sim.node_ref::<Echo>(echo).unwrap();
+        assert!(e.rx > 50 && e.rx < 150, "~half the frames survive, got {}", e.rx);
+        let c = sim.link_counters(pinger, 0);
+        assert_eq!(c.fault_drops + c.delivered, 200);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut sim = Simulator::new(seed);
+            let pinger = sim.add_node(
+                "p",
+                Box::new(Pinger {
+                    n: 100,
+                    frame_len: 500,
+                    replies: 0,
+                    sent_at: vec![],
+                    rtts: vec![],
+                }),
+            );
+            let echo = sim.add_node("e", Box::new(Echo { rx: 0 }));
+            let lossy = LinkConfig::new(mbps(50), Duration::from_micros(100)).with_fault(
+                FaultConfig {
+                    drop_prob: 0.3,
+                    corrupt_prob: 0.1,
+                },
+            );
+            sim.connect(pinger, echo, lossy, lossy);
+            sim.run(1_000_000);
+            sim.node_ref::<Pinger>(pinger).unwrap().replies
+        };
+        assert_eq!(run(7), run(7), "same seed must reproduce exactly");
+        // Different seeds almost surely differ with 30% loss on 100 pings;
+        // if they collide the test is still valid as long as SOME seed
+        // pair differs — check a few.
+        let outcomes: Vec<u64> = (0..5).map(run).collect();
+        assert!(
+            outcomes.windows(2).any(|w| w[0] != w[1]),
+            "different seeds should vary: {outcomes:?}"
+        );
+    }
+
+    #[test]
+    fn run_until_advances_clock_without_events() {
+        let mut sim = Simulator::new(5);
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.now(), SimTime::from_secs(3));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct TimerNode {
+            fired: Vec<u64>,
+        }
+        impl Node for TimerNode {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.set_timer(Duration::from_millis(20), 2);
+                ctx.set_timer(Duration::from_millis(10), 1);
+                ctx.set_timer(Duration::from_millis(30), 3);
+            }
+            fn on_packet(&mut self, _: &mut Context, _: IfaceId, _: Vec<u8>) {}
+            fn on_timer(&mut self, _ctx: &mut Context, token: u64) {
+                self.fired.push(token);
+            }
+        }
+        let mut sim = Simulator::new(6);
+        let n = sim.add_node("t", Box::new(TimerNode { fired: vec![] }));
+        sim.run(100);
+        assert_eq!(sim.node_ref::<TimerNode>(n).unwrap().fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn inject_delivers_at_requested_time() {
+        struct Sink {
+            got_at: Option<SimTime>,
+        }
+        impl Node for Sink {
+            fn on_packet(&mut self, ctx: &mut Context, _: IfaceId, _: Vec<u8>) {
+                self.got_at = Some(ctx.now);
+            }
+        }
+        let mut sim = Simulator::new(7);
+        let s = sim.add_node("sink", Box::new(Sink { got_at: None }));
+        sim.inject(SimTime::from_millis(42), s, 0, vec![1, 2, 3]);
+        sim.run(10);
+        assert_eq!(
+            sim.node_ref::<Sink>(s).unwrap().got_at,
+            Some(SimTime::from_millis(42))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown iface")]
+    fn sending_on_missing_iface_panics() {
+        struct Bad;
+        impl Node for Bad {
+            fn on_start(&mut self, ctx: &mut Context) {
+                ctx.send(0, vec![1]);
+            }
+            fn on_packet(&mut self, _: &mut Context, _: IfaceId, _: Vec<u8>) {}
+        }
+        let mut sim = Simulator::new(8);
+        sim.add_node("bad", Box::new(Bad));
+        sim.run(10);
+    }
+}

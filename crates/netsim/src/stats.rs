@@ -1,0 +1,248 @@
+//! Measurement collection.
+//!
+//! Experiments read everything they report from here: named counters,
+//! scalar series (latencies, inter-arrival jitter), and per-flow
+//! accounting. Nodes write through [`crate::sim::Context::stats`].
+
+use crate::time::SimTime;
+use std::collections::HashMap;
+
+/// Identifies an application flow for accounting.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey(pub String);
+
+impl FlowKey {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>) -> Self {
+        FlowKey(name.into())
+    }
+}
+
+/// Per-flow accounting record.
+#[derive(Debug, Clone, Default)]
+pub struct FlowStats {
+    /// Packets delivered to the flow's sink.
+    pub rx_packets: u64,
+    /// Bytes delivered.
+    pub rx_bytes: u64,
+    /// Packets sent by the flow's source.
+    pub tx_packets: u64,
+    /// Bytes sent.
+    pub tx_bytes: u64,
+    /// One-way delays of delivered packets, in seconds.
+    pub delays: Vec<f64>,
+    /// Time of first delivery.
+    pub first_rx: Option<SimTime>,
+    /// Time of last delivery.
+    pub last_rx: Option<SimTime>,
+}
+
+impl FlowStats {
+    /// Delivery ratio in [0, 1]; 1.0 when nothing was sent.
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.tx_packets == 0 {
+            1.0
+        } else {
+            self.rx_packets as f64 / self.tx_packets as f64
+        }
+    }
+
+    /// Mean one-way delay in seconds (0 when nothing was delivered).
+    pub fn mean_delay(&self) -> f64 {
+        if self.delays.is_empty() {
+            0.0
+        } else {
+            self.delays.iter().sum::<f64>() / self.delays.len() as f64
+        }
+    }
+
+    /// Delay percentile (p in [0,100]); 0 when empty.
+    pub fn delay_percentile(&self, p: f64) -> f64 {
+        if self.delays.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.delays.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Mean absolute delay variation (simple jitter proxy), seconds.
+    pub fn jitter(&self) -> f64 {
+        if self.delays.len() < 2 {
+            return 0.0;
+        }
+        let diffs: f64 = self
+            .delays
+            .windows(2)
+            .map(|w| (w[1] - w[0]).abs())
+            .sum();
+        diffs / (self.delays.len() - 1) as f64
+    }
+
+    /// Receive goodput in bits/sec over the first..last delivery window.
+    pub fn goodput_bps(&self) -> f64 {
+        match (self.first_rx, self.last_rx) {
+            (Some(a), Some(b)) if b > a => {
+                (self.rx_bytes as f64 * 8.0) / (b - a).as_secs_f64()
+            }
+            _ => 0.0,
+        }
+    }
+}
+
+/// Simulation-wide statistics sink.
+#[derive(Debug, Default)]
+pub struct Stats {
+    counters: HashMap<String, u64>,
+    series: HashMap<String, Vec<f64>>,
+    flows: HashMap<FlowKey, FlowStats>,
+}
+
+impl Stats {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a named counter.
+    pub fn count(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds to a named counter.
+    pub fn add(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Appends to a named scalar series.
+    pub fn record(&mut self, name: &str, v: f64) {
+        self.series.entry(name.to_string()).or_default().push(v);
+    }
+
+    /// Reads a series (empty if never written).
+    pub fn series(&self, name: &str) -> &[f64] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Mean of a series (0 when empty).
+    pub fn series_mean(&self, name: &str) -> f64 {
+        let s = self.series(name);
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Mutable access to a flow record, creating it on first touch.
+    pub fn flow_mut(&mut self, key: &FlowKey) -> &mut FlowStats {
+        self.flows.entry(key.clone()).or_default()
+    }
+
+    /// Reads a flow record.
+    pub fn flow(&self, key: &FlowKey) -> Option<&FlowStats> {
+        self.flows.get(key)
+    }
+
+    /// All flows, for report tables.
+    pub fn flows(&self) -> impl Iterator<Item = (&FlowKey, &FlowStats)> {
+        self.flows.iter()
+    }
+
+    /// Records a packet transmission on a flow.
+    pub fn flow_tx(&mut self, key: &FlowKey, bytes: usize) {
+        let f = self.flow_mut(key);
+        f.tx_packets += 1;
+        f.tx_bytes += bytes as u64;
+    }
+
+    /// Records a packet delivery on a flow.
+    pub fn flow_rx(&mut self, key: &FlowKey, bytes: usize, sent_at: SimTime, now: SimTime) {
+        let f = self.flow_mut(key);
+        f.rx_packets += 1;
+        f.rx_bytes += bytes as u64;
+        f.delays.push((now - sent_at).as_secs_f64());
+        if f.first_rx.is_none() {
+            f.first_rx = Some(now);
+        }
+        f.last_rx = Some(now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.count("drops");
+        s.add("drops", 4);
+        assert_eq!(s.counter("drops"), 5);
+        assert_eq!(s.counter("never"), 0);
+    }
+
+    #[test]
+    fn series_statistics() {
+        let mut s = Stats::new();
+        for v in [1.0, 2.0, 3.0] {
+            s.record("lat", v);
+        }
+        assert_eq!(s.series("lat"), &[1.0, 2.0, 3.0]);
+        assert!((s.series_mean("lat") - 2.0).abs() < 1e-12);
+        assert_eq!(s.series_mean("none"), 0.0);
+    }
+
+    #[test]
+    fn flow_accounting() {
+        let mut s = Stats::new();
+        let k = FlowKey::new("voip:ann->ben");
+        s.flow_tx(&k, 100);
+        s.flow_tx(&k, 100);
+        s.flow_rx(&k, 100, SimTime::ZERO, SimTime::from_millis(30));
+        let f = s.flow(&k).unwrap();
+        assert_eq!(f.tx_packets, 2);
+        assert_eq!(f.rx_packets, 1);
+        assert!((f.delivery_ratio() - 0.5).abs() < 1e-12);
+        assert!((f.mean_delay() - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_flow_defaults() {
+        let f = FlowStats::default();
+        assert_eq!(f.delivery_ratio(), 1.0);
+        assert_eq!(f.mean_delay(), 0.0);
+        assert_eq!(f.jitter(), 0.0);
+        assert_eq!(f.goodput_bps(), 0.0);
+        assert_eq!(f.delay_percentile(99.0), 0.0);
+    }
+
+    #[test]
+    fn percentiles_and_jitter() {
+        let mut f = FlowStats::default();
+        f.delays = vec![0.010, 0.020, 0.030, 0.040, 0.100];
+        assert!((f.delay_percentile(0.0) - 0.010).abs() < 1e-12);
+        assert!((f.delay_percentile(100.0) - 0.100).abs() < 1e-12);
+        assert!(f.delay_percentile(50.0) >= 0.020 && f.delay_percentile(50.0) <= 0.040);
+        // |0.01|+|0.01|+|0.01|+|0.06| / 4 = 0.0225
+        assert!((f.jitter() - 0.0225).abs() < 1e-12);
+    }
+
+    #[test]
+    fn goodput_over_window() {
+        let mut s = Stats::new();
+        let k = FlowKey::new("bulk");
+        s.flow_tx(&k, 1000);
+        s.flow_rx(&k, 1000, SimTime::ZERO, SimTime::from_secs(1));
+        s.flow_tx(&k, 1000);
+        s.flow_rx(&k, 1000, SimTime::ZERO, SimTime::from_secs(2));
+        // 2000 bytes over 1 second window = 16 kbps.
+        assert!((s.flow(&k).unwrap().goodput_bps() - 16_000.0).abs() < 1e-6);
+    }
+}

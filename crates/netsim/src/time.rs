@@ -1,0 +1,122 @@
+//! Simulated time.
+//!
+//! The simulator is fully deterministic: time is a 64-bit nanosecond
+//! counter advanced only by the event loop, never by the wall clock.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+use core::time::Duration;
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Builds from milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Builds from microseconds.
+    pub fn from_micros(us: u64) -> Self {
+        SimTime(us * 1_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for metric reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`; saturates at zero.
+    pub fn since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: Duration) -> SimTime {
+        SimTime(self.0 + d.as_nanos() as u64)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, d: Duration) {
+        self.0 += d.as_nanos() as u64;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, other: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(other.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// Serialization delay of `bytes` on a link of `bits_per_sec`.
+pub fn tx_time(bytes: usize, bits_per_sec: u64) -> Duration {
+    assert!(bits_per_sec > 0, "link bandwidth must be positive");
+    let nanos = (bytes as u128 * 8 * 1_000_000_000) / bits_per_sec as u128;
+    Duration::from_nanos(nanos as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimTime::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(3).as_nanos(), 3_000_000);
+        assert_eq!(SimTime::from_micros(5).as_nanos(), 5_000);
+        assert!((SimTime::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t.as_nanos(), 1_500_000_000);
+        assert_eq!(t - SimTime::from_secs(1), Duration::from_millis(500));
+        assert_eq!(SimTime::ZERO - t, Duration::ZERO, "saturating");
+        assert_eq!(t.since(SimTime::from_secs(1)), Duration::from_millis(500));
+    }
+
+    #[test]
+    fn tx_time_known_values() {
+        // 1500 bytes at 1 Gbps = 12 microseconds.
+        assert_eq!(tx_time(1500, 1_000_000_000), Duration::from_micros(12));
+        // 125 bytes at 1 Mbps = 1 ms.
+        assert_eq!(tx_time(125, 1_000_000), Duration::from_millis(1));
+        assert_eq!(tx_time(0, 1_000_000), Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_panics() {
+        let _ = tx_time(100, 0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimTime::from_millis(1234).to_string(), "1.234000s");
+    }
+}

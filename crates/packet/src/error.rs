@@ -1,0 +1,39 @@
+//! Packet parsing errors.
+
+use core::fmt;
+
+/// Errors raised while parsing or emitting wire formats.
+///
+/// Every byte examined by this crate may come from an adversarial ISP, so
+/// parsers return these errors instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketError {
+    /// Buffer shorter than the header or declared lengths require.
+    Truncated,
+    /// Version or type nibble is not one this implementation speaks.
+    BadVersion,
+    /// Header checksum failed verification.
+    BadChecksum,
+    /// A field holds a structurally impossible value.
+    BadField,
+    /// The buffer is too small to emit the requested representation.
+    BufferTooSmall,
+}
+
+impl fmt::Display for PacketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            PacketError::Truncated => "packet truncated",
+            PacketError::BadVersion => "unsupported version or type",
+            PacketError::BadChecksum => "header checksum mismatch",
+            PacketError::BadField => "invalid field value",
+            PacketError::BufferTooSmall => "buffer too small for emission",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for PacketError {}
+
+/// Convenience alias.
+pub type Result<T> = core::result::Result<T, PacketError>;
