@@ -1,0 +1,90 @@
+//! `nn-scenarios` — run the discrimination scenarios and print a report.
+//!
+//! ```text
+//! nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME]
+//! ```
+//!
+//! With no arguments all three scenarios run under the default seed and
+//! the tool prints per-flow goodput/delay plus the recovery summary.
+
+use nn_apps::scenario::{run_scenario, Scenario, ScenarioConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME]\n\
+         scenarios: {}",
+        Scenario::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut cfg = ScenarioConfig::default();
+    let mut only: Option<Scenario> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let next_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--seed" => {
+                cfg.seed = next_value(&mut i).parse().unwrap_or_else(|_| usage());
+            }
+            "--duration-ms" => {
+                let ms: u64 = next_value(&mut i).parse().unwrap_or_else(|_| usage());
+                cfg.duration = std::time::Duration::from_millis(ms);
+            }
+            "--scenario" => {
+                let name = next_value(&mut i);
+                only = Some(Scenario::from_name(&name).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let scenarios: Vec<Scenario> = match only {
+        Some(s) => vec![s],
+        None => Scenario::ALL.to_vec(),
+    };
+
+    let mut results = Vec::new();
+    for s in &scenarios {
+        let report = run_scenario(*s, &cfg);
+        print!("{report}");
+        println!();
+        results.push(report);
+    }
+
+    if only.is_none() {
+        let baseline = results[0].goodput_bps();
+        let throttled = results[1].goodput_bps();
+        let neutralized = results[2].goodput_bps();
+        let pct = |v: f64| {
+            if baseline > 0.0 {
+                format!("({:.0}% of baseline)", 100.0 * v / baseline)
+            } else {
+                "(baseline had no measurable goodput)".to_string()
+            }
+        };
+        println!("summary:");
+        println!("  baseline goodput      {:>9.1} kbit/s", baseline / 1e3);
+        println!(
+            "  DPI-throttled plain   {:>9.1} kbit/s {}",
+            throttled / 1e3,
+            pct(throttled)
+        );
+        println!(
+            "  with neutralizer      {:>9.1} kbit/s {}",
+            neutralized / 1e3,
+            pct(neutralized)
+        );
+    }
+}

@@ -1,1 +1,24 @@
-//! placeholder
+//! # nn-apps — end-to-end scenario harness
+//!
+//! Wires the whole reproduction together: application workloads from
+//! [`nn_core::app`] run over host stacks ([`hosts`]) through the
+//! discriminatory ISP and the neutralizer inside the deterministic
+//! simulator, and [`scenario`] packages the paper's A/B/C comparison —
+//! baseline, DPI-throttled, DPI-throttled-but-neutralized — into named,
+//! reproducible runs reporting per-flow goodput and delay.
+//!
+//! The `nn-scenarios` binary runs the three scenarios and prints the
+//! comparison table; `tests/e2e_scenario.rs` at the workspace root
+//! asserts the headline result (the neutralizer recovers goodput under
+//! content DPI) and simulator determinism.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hosts;
+pub mod scenario;
+
+pub use hosts::{
+    Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
+};
+pub use scenario::{run_all, run_scenario, Scenario, ScenarioConfig, ScenarioReport};

@@ -1,0 +1,534 @@
+//! End-to-end discrimination scenarios.
+//!
+//! One topology, three treatments — the A/B/C comparison the paper's
+//! evaluation is built around:
+//!
+//! ```text
+//!   source ───── discriminatory ISP ───── neutralizer ───── destination
+//!   (outside)        (DPI router)        (neutral ISP        (customer)
+//!                                          border)
+//! ```
+//!
+//! * [`Scenario::Baseline`] — plain UDP, no discrimination: the
+//!   reference goodput/delay.
+//! * [`Scenario::DpiThrottledPlain`] — the ISP's DPI matches the VoIP
+//!   payload signature and throttles the flow (§1's "slow down
+//!   competing VoIP traffic").
+//! * [`Scenario::DpiThrottledNeutralized`] — same ISP policy, but the
+//!   source runs the §3.2 neutralized stack: the payload is end-to-end
+//!   encrypted and the destination hidden, so content DPI has nothing to
+//!   match and goodput recovers.
+//!
+//! Everything is driven by one seeded [`Simulator`], so a (scenario,
+//! seed, config) triple reproduces byte-identical reports.
+
+use crate::hosts::{
+    Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
+};
+use nn_core::app::ScriptedApp;
+use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
+use nn_dns::{rtype, DnsCache, DnsName, Lookup, NeutInfo, Record, RecordData, ZoneStore};
+use nn_netsim::{
+    compute_routes, Action, FlowKey, LinkConfig, MatchExpr, PolicyEngine, RouterNode, Rule,
+    SimTime, Simulator,
+};
+use nn_packet::{Ipv4Addr, Ipv4Cidr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::time::Duration;
+
+/// The source host's address (outside the neutral domain).
+pub const SRC_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
+/// The destination customer's address (inside the neutral domain).
+pub const DST_ADDR: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 99);
+/// The neutralizer anycast service address.
+pub const ANYCAST_ADDR: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+/// The destination's DNS name, whose `NEUT` record carries the bootstrap
+/// triple of §3.1.
+pub const DST_NAME: &str = "shop.neutral.example";
+
+/// The content signature the ISP's DPI keys on — embedded in every plain
+/// app payload, invisible once end-to-end encrypted.
+pub const DPI_MARKER: &[u8] = b"VOIP/RTP";
+
+/// Tuning for a scenario run.
+#[derive(Debug, Clone)]
+pub struct ScenarioConfig {
+    /// Simulator seed; every random choice flows from it.
+    pub seed: u64,
+    /// Length of the send schedule.
+    pub duration: Duration,
+    /// Inter-packet gap of the CBR workload.
+    pub packet_interval: Duration,
+    /// Application bytes per packet.
+    pub payload_bytes: usize,
+    /// One-time RSA modulus bits for key setup (the paper uses 512).
+    pub onetime_rsa_bits: usize,
+    /// End-to-end RSA modulus bits for the destination's published key.
+    pub e2e_rsa_bits: usize,
+    /// DPI throttle policing rate (bits/sec on the wire).
+    pub throttle_rate_bps: u64,
+    /// DPI throttle bucket depth (bytes).
+    pub throttle_burst_bytes: usize,
+    /// Whether the destination echoes frames back (exercises the
+    /// anonymized return path).
+    pub echo: bool,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            duration: Duration::from_secs(2),
+            packet_interval: Duration::from_millis(5),
+            payload_bytes: 160, // one G.711 20 ms frame
+            onetime_rsa_bits: 512,
+            e2e_rsa_bits: 512,
+            throttle_rate_bps: 64_000,
+            throttle_burst_bytes: 3_000,
+            echo: true,
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A configuration sized for fast test runs: shorter schedule and
+    /// smaller (still paper-plausible) RSA keys.
+    pub fn fast(seed: u64) -> Self {
+        ScenarioConfig {
+            seed,
+            duration: Duration::from_millis(800),
+            onetime_rsa_bits: 320,
+            e2e_rsa_bits: 320,
+            ..ScenarioConfig::default()
+        }
+    }
+}
+
+/// The three named scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// Plain UDP, neutral network.
+    Baseline,
+    /// Plain UDP through a DPI-throttling ISP.
+    DpiThrottledPlain,
+    /// Neutralized transport through the same DPI-throttling ISP.
+    DpiThrottledNeutralized,
+}
+
+impl Scenario {
+    /// All scenarios in canonical run order.
+    pub const ALL: [Scenario; 3] = [
+        Scenario::Baseline,
+        Scenario::DpiThrottledPlain,
+        Scenario::DpiThrottledNeutralized,
+    ];
+
+    /// Stable scenario name (CLI argument and report header).
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::Baseline => "baseline",
+            Scenario::DpiThrottledPlain => "dpi-throttled-plain",
+            Scenario::DpiThrottledNeutralized => "dpi-throttled-neutralized",
+        }
+    }
+
+    /// Parses a scenario name.
+    pub fn from_name(name: &str) -> Option<Scenario> {
+        Scenario::ALL.into_iter().find(|s| s.name() == name)
+    }
+
+    fn neutralized(self) -> bool {
+        matches!(self, Scenario::DpiThrottledNeutralized)
+    }
+
+    fn discriminates(self) -> bool {
+        !matches!(self, Scenario::Baseline)
+    }
+}
+
+/// Per-flow results extracted from [`nn_netsim::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Flow name.
+    pub flow: String,
+    /// Packets sent by the application.
+    pub tx_packets: u64,
+    /// Packets delivered to the destination app.
+    pub rx_packets: u64,
+    /// rx/tx ratio.
+    pub delivery_ratio: f64,
+    /// Application-byte goodput over the delivery window, bits/sec.
+    pub goodput_bps: f64,
+    /// Mean one-way delay, milliseconds.
+    pub mean_delay_ms: f64,
+    /// 99th-percentile one-way delay, milliseconds.
+    pub p99_delay_ms: f64,
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seed the run used.
+    pub seed: u64,
+    /// Per-flow accounting (sorted by flow name).
+    pub flows: Vec<FlowReport>,
+    /// Echo replies that made it back to the source.
+    pub replies: u64,
+    /// Anonymized return blocks that opened to the true destination
+    /// (neutralized scenarios only).
+    pub verified_return_blocks: u64,
+    /// Frames the ISP's policy dropped, by rule.
+    pub policy_drops: u64,
+    /// Selected named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Total simulator events processed.
+    pub events: u64,
+}
+
+impl ScenarioReport {
+    /// The forward flow's goodput (the headline number).
+    pub fn goodput_bps(&self) -> f64 {
+        self.flows.first().map(|f| f.goodput_bps).unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for ScenarioReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "scenario: {} (seed {})", self.scenario, self.seed)?;
+        for fr in &self.flows {
+            writeln!(
+                f,
+                "  flow {:<6} tx {:>4} rx {:>4} delivery {:>6.1}% goodput {:>9.1} kbit/s \
+                 delay mean {:>7.2} ms p99 {:>7.2} ms",
+                fr.flow,
+                fr.tx_packets,
+                fr.rx_packets,
+                fr.delivery_ratio * 100.0,
+                fr.goodput_bps / 1_000.0,
+                fr.mean_delay_ms,
+                fr.p99_delay_ms,
+            )?;
+        }
+        writeln!(
+            f,
+            "  replies {} verified-return-blocks {} policy-drops {} events {}",
+            self.replies, self.verified_return_blocks, self.policy_drops, self.events
+        )?;
+        for (name, v) in &self.counters {
+            writeln!(f, "  counter {name} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builds the CBR app payload: the DPI marker plus a sequence number,
+/// padded to the configured size. In the plain scenarios this marker is
+/// exactly what the ISP's classifier matches.
+fn cbr_payload(seq: u64, size: usize) -> Vec<u8> {
+    // A payload too small to carry the marker would silently turn the
+    // DPI scenarios into no-ops; fail loudly instead.
+    assert!(
+        size >= DPI_MARKER.len(),
+        "payload_bytes must fit the {}-byte DPI marker",
+        DPI_MARKER.len()
+    );
+    let mut data = Vec::with_capacity(size);
+    data.extend_from_slice(DPI_MARKER);
+    data.extend_from_slice(b" seq=");
+    data.extend_from_slice(seq.to_string().as_bytes());
+    data.resize(size, b'.');
+    data
+}
+
+/// Resolves the destination's bootstrap triple from its DNS records,
+/// going through the TTL cache the way a real stub resolver would.
+fn resolve_bootstrap(zone: &ZoneStore, cache: &mut DnsCache, now: SimTime) -> Bootstrap {
+    let name = DnsName::new(DST_NAME).expect("valid name");
+    if cache.get(now, &name, rtype::NEUT).is_none() {
+        match zone.query(&name, rtype::NEUT) {
+            Lookup::Found(records) => cache.insert(now, name.clone(), rtype::NEUT, records),
+            other => panic!("NEUT bootstrap record missing: {other:?}"),
+        }
+    }
+    // Serve from the cache so the hit path actually runs; repeat
+    // resolutions within the TTL never touch the zone again.
+    let records = cache
+        .get(now, &name, rtype::NEUT)
+        .expect("just-inserted NEUT record is cached");
+    assert!(cache.hits >= 1, "bootstrap must come from the cache");
+    let RecordData::Neut(info) = &records[0].data else {
+        panic!("NEUT query returned non-NEUT data");
+    };
+    let (pubkey, _) =
+        nn_crypto::RsaPublicKey::from_wire(&info.pubkey_wire).expect("published key parses");
+    let dest = match zone.query(&name, rtype::A) {
+        Lookup::Found(recs) => match recs[0].data {
+            RecordData::A(addr) => addr,
+            _ => unreachable!("A query returned non-A data"),
+        },
+        other => panic!("A record missing: {other:?}"),
+    };
+    Bootstrap {
+        dest,
+        neutralizer: info.neutralizers[0],
+        dest_pubkey: pubkey,
+    }
+}
+
+/// Runs one scenario to completion and extracts its report.
+pub fn run_scenario(scenario: Scenario, cfg: &ScenarioConfig) -> ScenarioReport {
+    let flow = "voip";
+    // §3.1 bootstrap — only neutralized scenarios mint the destination's
+    // end-to-end keypair and resolve its NEUT record; plain transports
+    // need neither, and RSA keygen is the expensive part of setup.
+    // Setup-time randomness comes from its own stream so it is
+    // independent of in-simulation draws.
+    let bootstrap_and_keys = scenario.neutralized().then(|| {
+        let mut setup_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e7u64);
+        let dest_keypair = nn_crypto::generate_keypair(&mut setup_rng, cfg.e2e_rsa_bits);
+        let mut zone = ZoneStore::new();
+        let name = DnsName::new(DST_NAME).expect("valid name");
+        zone.add(Record::new(name.clone(), 300, RecordData::A(DST_ADDR)));
+        zone.add(Record::new(
+            name,
+            300,
+            RecordData::Neut(NeutInfo {
+                neutralizers: vec![ANYCAST_ADDR],
+                pubkey_wire: dest_keypair.public.to_wire(),
+            }),
+        ));
+        let mut cache = DnsCache::new();
+        (
+            resolve_bootstrap(&zone, &mut cache, SimTime::ZERO),
+            dest_keypair,
+        )
+    });
+
+    // Topology.
+    let mut sim = Simulator::new(cfg.seed);
+    let schedule: Vec<(SimTime, Vec<u8>)> = {
+        let interval = cfg.packet_interval.as_nanos() as u64;
+        let n = (cfg.duration.as_nanos() as u64 / interval).max(1);
+        (0..n)
+            .map(|i| (SimTime(i * interval), cbr_payload(i, cfg.payload_bytes)))
+            .collect()
+    };
+    let app = Box::new(ScriptedApp::new(DST_NAME, schedule));
+
+    let src = if let Some((bootstrap, _)) = &bootstrap_and_keys {
+        sim.add_node(
+            "src",
+            Box::new(NeutralizedSourceNode::new(
+                SRC_ADDR,
+                bootstrap.clone(),
+                0,
+                cfg.onetime_rsa_bits,
+                flow,
+                app,
+            )),
+        )
+    } else {
+        sim.add_node(
+            "src",
+            Box::new(PlainSourceNode::new(SRC_ADDR, DST_ADDR, 0, flow, app)),
+        )
+    };
+    let isp = sim.add_node("isp", Box::new(RouterNode::new("isp")));
+    let neut_config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+    // Route the neutralizer's dynamic QoS pool (§3.4) wherever the config
+    // puts it, rather than duplicating the literal here.
+    let dyn_pool = neut_config.dyn_pool;
+    let neut = sim.add_node(
+        "neut",
+        Box::new(NeutralizerNode::new(
+            neut_config,
+            derive_master_key(cfg.seed),
+        )),
+    );
+    let dst = if let Some((_, dest_keypair)) = bootstrap_and_keys {
+        sim.add_node(
+            "dst",
+            Box::new(NeutralizedServerNode::new(
+                DST_ADDR,
+                ANYCAST_ADDR,
+                dest_keypair,
+                cfg.echo,
+            )),
+        )
+    } else {
+        sim.add_node("dst", Box::new(PlainServerNode::new(DST_ADDR, cfg.echo)))
+    };
+
+    let mbps10 = 10_000_000;
+    sim.connect_sym(src, isp, LinkConfig::new(mbps10, Duration::from_millis(2)));
+    sim.connect_sym(
+        isp,
+        neut,
+        LinkConfig::new(mbps10, Duration::from_millis(10)),
+    );
+    sim.connect_sym(neut, dst, LinkConfig::new(mbps10, Duration::from_millis(2)));
+
+    let prefixes = vec![
+        (Ipv4Cidr::new(SRC_ADDR, 24), src),
+        (Ipv4Cidr::new(DST_ADDR, 16), dst),
+        (Ipv4Cidr::new(ANYCAST_ADDR, 24), neut),
+        (dyn_pool, neut),
+    ];
+    let tables = compute_routes(&sim.edges(), &prefixes, sim.node_count());
+    sim.node_mut::<RouterNode>(isp)
+        .expect("isp is a router")
+        .set_routes(tables[&isp].clone());
+    sim.node_mut::<NeutralizerNode>(neut)
+        .expect("neut is a neutralizer")
+        .set_routes(tables[&neut].clone());
+
+    // The discriminatory policy: content DPI + throttle (§1). The same
+    // rule is installed for both DPI scenarios; whether it can still
+    // *match* is exactly what the neutralizer changes.
+    if scenario.discriminates() {
+        let rule = Rule::new(
+            "dpi-throttle-voip",
+            MatchExpr::PayloadContains(DPI_MARKER.to_vec()),
+            Action::Throttle {
+                rate_bps: cfg.throttle_rate_bps,
+                burst_bytes: cfg.throttle_burst_bytes,
+            },
+        );
+        sim.node_mut::<RouterNode>(isp)
+            .expect("isp is a router")
+            .set_policy(PolicyEngine::new().with(rule));
+    }
+
+    // Run: schedule length plus grace for handshake and queue drain.
+    sim.run_until(SimTime::ZERO + cfg.duration + Duration::from_millis(500));
+
+    // Harvest.
+    let policy_drops = sim.stats().counter("isp.policy_drop.dpi-throttle-voip");
+    let (replies, verified_return_blocks) = if scenario.neutralized() {
+        let node = sim
+            .node_ref::<NeutralizedSourceNode>(src)
+            .expect("neutralized source");
+        (node.replies, node.verified_return_blocks)
+    } else {
+        let node = sim.node_ref::<PlainSourceNode>(src).expect("plain source");
+        (node.replies, 0)
+    };
+    let mut counters: Vec<(String, u64)> = [
+        "neutralizer.setup_served",
+        "neutralizer.data_forwarded",
+        "neutralizer.return_anonymized",
+        "neutralizer.transit",
+        "source.established",
+    ]
+    .into_iter()
+    .map(|name| (name.to_string(), sim.stats().counter(name)))
+    .filter(|(_, v)| *v > 0)
+    .collect();
+    counters.sort();
+
+    let key = FlowKey::new(flow);
+    let flows = match sim.stats().flow(&key) {
+        Some(fs) => vec![FlowReport {
+            flow: flow.to_string(),
+            tx_packets: fs.tx_packets,
+            rx_packets: fs.rx_packets,
+            delivery_ratio: fs.delivery_ratio(),
+            goodput_bps: fs.goodput_bps(),
+            mean_delay_ms: fs.mean_delay() * 1_000.0,
+            p99_delay_ms: fs.delay_percentile(99.0) * 1_000.0,
+        }],
+        None => Vec::new(),
+    };
+
+    ScenarioReport {
+        scenario: scenario.name().to_string(),
+        seed: cfg.seed,
+        flows,
+        replies,
+        verified_return_blocks,
+        policy_drops,
+        counters,
+        events: sim.events_processed(),
+    }
+}
+
+/// Runs every scenario under one config.
+pub fn run_all(cfg: &ScenarioConfig) -> Vec<ScenarioReport> {
+    Scenario::ALL
+        .into_iter()
+        .map(|s| run_scenario(s, cfg))
+        .collect()
+}
+
+/// Derives 16 deterministic master-key bytes from the scenario seed.
+fn derive_master_key(seed: u64) -> [u8; 16] {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4b_u64);
+    rng.gen()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScenarioConfig {
+        ScenarioConfig::fast(7)
+    }
+
+    #[test]
+    fn baseline_delivers_nearly_everything() {
+        let report = run_scenario(Scenario::Baseline, &cfg());
+        let f = &report.flows[0];
+        assert!(f.tx_packets >= 100, "CBR schedule ran: {}", f.tx_packets);
+        assert!(
+            f.delivery_ratio > 0.99,
+            "neutral network delivers: {report}"
+        );
+        assert_eq!(report.policy_drops, 0);
+        assert!(report.replies > 0, "echo path works");
+    }
+
+    #[test]
+    fn dpi_throttle_degrades_plain_traffic() {
+        let baseline = run_scenario(Scenario::Baseline, &cfg());
+        let throttled = run_scenario(Scenario::DpiThrottledPlain, &cfg());
+        assert!(throttled.policy_drops > 0, "DPI matched and dropped");
+        assert!(
+            throttled.goodput_bps() < baseline.goodput_bps() * 0.6,
+            "throttle must bite: baseline {} vs throttled {}",
+            baseline.goodput_bps(),
+            throttled.goodput_bps()
+        );
+    }
+
+    #[test]
+    fn neutralizer_defeats_content_dpi() {
+        let throttled = run_scenario(Scenario::DpiThrottledPlain, &cfg());
+        let neutralized = run_scenario(Scenario::DpiThrottledNeutralized, &cfg());
+        assert_eq!(
+            neutralized.policy_drops, 0,
+            "encrypted payload gives DPI nothing to match"
+        );
+        assert!(
+            neutralized.goodput_bps() > throttled.goodput_bps() * 2.0,
+            "goodput recovers: neutralized {} vs throttled {}",
+            neutralized.goodput_bps(),
+            throttled.goodput_bps()
+        );
+        assert!(
+            neutralized.verified_return_blocks > 0,
+            "anonymized return path verified"
+        );
+    }
+
+    #[test]
+    fn scenario_names_roundtrip() {
+        for s in Scenario::ALL {
+            assert_eq!(Scenario::from_name(s.name()), Some(s));
+        }
+        assert_eq!(Scenario::from_name("nope"), None);
+    }
+}

@@ -1,1 +1,6 @@
-fn main() {}
+//! Shell target for [`nn_bench::suites::dos_pushback`]; the suite body lives in
+//! the library so plain `cargo build` compiles it.
+
+fn main() {
+    nn_bench::suites::dos_pushback();
+}

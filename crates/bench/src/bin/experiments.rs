@@ -1,1 +1,27 @@
-fn main() {}
+//! `experiments` — index of the workspace's executable evaluations.
+//!
+//! The scenario harness lives in `nn-apps` (`cargo run --release -p
+//! nn-apps --bin nn-scenarios`); micro-benchmarks live in this crate's
+//! `benches/` directory (`cargo bench -p nn-bench`). This binary just
+//! lists what exists so `cargo run -p nn-bench --bin experiments` is a
+//! useful starting point.
+
+fn main() {
+    println!("net-neutrality experiment index");
+    println!();
+    println!("scenarios (end-to-end, deterministic):");
+    println!("  cargo run --release -p nn-apps --bin nn-scenarios");
+    for s in nn_apps::Scenario::ALL {
+        println!("    --scenario {}", s.name());
+    }
+    println!();
+    println!("micro-benchmarks (cargo bench -p nn-bench --bench <name>):");
+    for (name, what, _run) in nn_bench::suites::SUITES {
+        println!("  {name:<20} {what}");
+    }
+    println!();
+    println!(
+        "NN_BENCH_ITERS overrides every bench's iteration count \
+         (absolute, not a multiplier; CI smoke uses NN_BENCH_ITERS=5)."
+    );
+}

@@ -1,0 +1,317 @@
+//! The benchmark suites themselves.
+//!
+//! Bodies live here — in the library, compiled by every plain
+//! `cargo build` — while the `benches/*.rs` targets are one-line shells
+//! invoking them, so bench code cannot silently rot between `cargo
+//! bench` runs. Iteration counts honor `NN_BENCH_ITERS` (see
+//! [`crate::iters`]).
+
+use crate::{bench, header, iters, print_result, BenchResult};
+use nn_core::pushback::{PushbackConfig, PushbackEngine};
+use nn_crypto::factor::{factor_semiprime, rho_ops_estimate};
+use nn_crypto::kdf::MasterKey;
+use nn_crypto::sealed::AddrSealer;
+use nn_crypto::{e2e, Aes128, AesCtr, BigUint, Cmac, E2eSession};
+use nn_netsim::SimTime;
+use nn_packet::Ipv4Addr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Name, one-line description and entry point of every suite — the
+/// single source of truth the `experiments` index prints. Keep in sync
+/// with the `[[bench]]` shell targets in `Cargo.toml`.
+pub const SUITES: [(&str, &str, fn()); 9] = [
+    (
+        "raw_crypto",
+        "AES block, CMAC, CTR keystream, Ks derivation",
+        raw_crypto,
+    ),
+    (
+        "key_setup",
+        "one-time RSA keygen / e=3 encrypt / CRT decrypt",
+        key_setup,
+    ),
+    (
+        "handshake",
+        "hybrid end-to-end envelope seal + open",
+        handshake,
+    ),
+    (
+        "data_path",
+        "neutralizer per-packet work, record channel",
+        data_path,
+    ),
+    (
+        "dos_pushback",
+        "pushback admission and window accounting",
+        dos_pushback,
+    ),
+    (
+        "factoring",
+        "Pollard rho + E6 cost extrapolation",
+        factoring,
+    ),
+    (
+        "blinding",
+        "randomized padding vs raw exponentiation",
+        blinding,
+    ),
+    (
+        "ablation_keysetup",
+        "one-time key size sweep",
+        ablation_keysetup,
+    ),
+    (
+        "ablation_stateless",
+        "stateless derivation vs stateful lookup",
+        ablation_stateless,
+    ),
+];
+
+/// Raw primitive costs: AES block, CMAC, CTR, and the Ks derivation —
+/// the per-packet operations of the paper's §4 cost model.
+pub fn raw_crypto() {
+    header("raw_crypto");
+    let n = iters(100_000);
+
+    let aes = Aes128::new(&[0x2b; 16]);
+    let mut block = [0x6b; 16];
+    bench("aes128_encrypt_block", n, || {
+        aes.encrypt_block(black_box(&mut block));
+    });
+
+    let mac = Cmac::new(&[0x2b; 16]);
+    let msg = [0xa5u8; 64];
+    bench("cmac_tag_64B", n, || {
+        black_box(mac.tag(black_box(&msg)));
+    });
+
+    let ctr = AesCtr::new(&[0x2b; 16]);
+    let mut payload = vec![0u8; 1500];
+    bench("ctr_keystream_1500B", n / 10, || {
+        ctr.apply_keystream(black_box(7), black_box(&mut payload));
+    });
+
+    let km = MasterKey::new([0x42; 16]);
+    bench("derive_ks", n, || {
+        black_box(km.derive_ks(black_box(0xdead_beef), black_box(0x0a00_0001)));
+    });
+}
+
+/// Key-setup costs (§3.2/§4): one-time RSA keygen (source), the single
+/// cheap e=3 encryption (neutralizer), CRT decryption (source again).
+pub fn key_setup() {
+    header("key_setup");
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = nn_crypto::generate_keypair(&mut rng, 512);
+    let msg = [0x5a; 24]; // nonce(8) ‖ Ks(16)
+    let ct = kp.public.encrypt(&mut rng, &msg).expect("encrypts");
+
+    bench("rsa512_keygen_source", iters(20), || {
+        black_box(nn_crypto::generate_keypair(&mut rng, 512));
+    });
+    bench("rsa512_e3_encrypt_neutralizer", iters(10_000), || {
+        black_box(kp.public.encrypt(&mut rng, black_box(&msg)).unwrap());
+    });
+    bench("rsa512_crt_decrypt_source", iters(2_000), || {
+        black_box(kp.private.decrypt(black_box(&ct)).unwrap());
+    });
+}
+
+/// End-to-end handshake cost: the first-packet hybrid envelope (§3.1's
+/// black box) sealed to the destination's published key and opened with
+/// its private key.
+pub fn handshake() {
+    header("handshake");
+    let mut rng = StdRng::seed_from_u64(2);
+    let kp = nn_crypto::generate_keypair(&mut rng, 512);
+    let payload = vec![0xc3u8; 160];
+    let env = e2e::seal(&mut rng, &kp.public, &payload).expect("seals");
+
+    bench("e2e_envelope_seal_160B", iters(5_000), || {
+        black_box(e2e::seal(&mut rng, &kp.public, black_box(&payload)).unwrap());
+    });
+    bench("e2e_envelope_open_160B", iters(2_000), || {
+        black_box(e2e::open(&kp.private, black_box(&env)).unwrap());
+    });
+}
+
+/// Per-packet data-path cost at the neutralizer (§4): one CMAC key
+/// derivation plus one AES block operation per packet, and the
+/// record-channel work at the endpoints.
+pub fn data_path() {
+    header("data_path");
+    let n = iters(100_000);
+    let km = MasterKey::new([0x11; 16]);
+    let ks = km.derive_ks(7, 0x0a00_0001);
+    let sealer = AddrSealer::new(&ks);
+    let sealed = sealer.seal(7, 0x0a07_0063);
+
+    // The neutralizer's forward-path inner loop: recompute Ks from the
+    // packet header, open the sealed destination.
+    bench("neutralizer_forward_derive_plus_open", n, || {
+        let ks = km.derive_ks(black_box(7), black_box(0x0a00_0001));
+        let s = AddrSealer::new(&ks);
+        black_box(s.open(7, black_box(&sealed)).unwrap());
+    });
+
+    // The return path: derive + seal.
+    bench("neutralizer_return_derive_plus_seal", n, || {
+        let ks = km.derive_ks(black_box(7), black_box(0x0a00_0001));
+        let s = AddrSealer::new(&ks);
+        black_box(s.seal(7, black_box(0x0a07_0063)));
+    });
+
+    // Endpoint record channel on a 160-byte VoIP frame.
+    let mut tx = E2eSession::new(&ks, true);
+    let rx = E2eSession::new(&ks, false);
+    let frame = vec![0x77u8; 160];
+    let rec = tx.seal_record(&frame);
+    bench("e2e_record_seal_160B", n / 10, || {
+        black_box(tx.seal_record(black_box(&frame)));
+    });
+    bench("e2e_record_open_160B", n / 10, || {
+        black_box(rx.open_record(black_box(&rec)).unwrap());
+    });
+}
+
+/// Pushback admission cost (§3.6): rejecting a flooded aggregate must
+/// cost a hash lookup, not an RSA operation — compare against
+/// [`key_setup`]'s encryption numbers.
+pub fn dos_pushback() {
+    header("dos_pushback");
+    let n = iters(100_000);
+
+    let mut engine = PushbackEngine::new(PushbackConfig::default(), SimTime::ZERO);
+    let mut t = 0u64;
+    bench("admit_unflagged", n, || {
+        t += 1;
+        black_box(engine.admit(SimTime(t), Ipv4Addr::new(10, (t % 200) as u8, 0, 1)));
+    });
+
+    // Flood one aggregate, flag it, then measure the rejection path.
+    let mut engine = PushbackEngine::new(
+        PushbackConfig {
+            setup_rate_threshold_pps: 100.0,
+            ..PushbackConfig::default()
+        },
+        SimTime::ZERO,
+    );
+    for i in 0..100_000u64 {
+        engine.admit(SimTime(i), Ipv4Addr::new(66, 6, 6, 6));
+    }
+    engine.tick(SimTime::from_millis(100));
+    let mut t = SimTime::from_millis(100).as_nanos();
+    bench("admit_flagged_aggregate", n, || {
+        t += 1;
+        black_box(engine.admit(SimTime(t), Ipv4Addr::new(66, 6, 6, 6)));
+    });
+
+    let mut engine = PushbackEngine::new(PushbackConfig::default(), SimTime::ZERO);
+    for i in 0..10_000u64 {
+        engine.admit(SimTime(i), Ipv4Addr::new((i % 250) as u8, 1, 2, 3));
+    }
+    bench("tick_10k_sources", iters(1_000), || {
+        black_box(engine.tick(SimTime::from_millis(100)));
+    });
+}
+
+/// Factoring costs for the security-window argument (E6): Pollard rho on
+/// small semiprimes plus the analytic extrapolation curve.
+pub fn factoring() {
+    header("factoring");
+
+    // 10403 = 101 * 103, then a pair of 31-bit primes.
+    bench("pollard_rho_14bit", iters(10_000), || {
+        black_box(factor_semiprime(black_box(10_403), 1 << 20).unwrap());
+    });
+    let n62: u128 = 2_147_483_647u128 * 2_147_483_629u128;
+    let reps = iters(5);
+    let start = Instant::now();
+    for _ in 0..reps {
+        black_box(factor_semiprime(black_box(n62), 1 << 32).unwrap());
+    }
+    print_result(&BenchResult {
+        name: "pollard_rho_62bit".into(),
+        iters: reps,
+        ns_per_iter: start.elapsed().as_nanos() as f64 / reps as f64,
+    });
+
+    // The analytic curve used by the E6 extrapolation.
+    for bits in [64u32, 128, 256, 512] {
+        println!(
+            "rho_ops_estimate({bits:>3} bits) = {:.3e}",
+            rho_ops_estimate(bits)
+        );
+    }
+}
+
+/// Randomized-padding cost: every key-setup encryption re-randomizes its
+/// PKCS#1-style padding, blinding repeated `(nonce, Ks)` payloads from
+/// an observing ISP. Isolates padding + conversion overhead from the raw
+/// modular exponentiation.
+pub fn blinding() {
+    header("blinding");
+    let mut rng = StdRng::seed_from_u64(3);
+    let kp = nn_crypto::generate_keypair(&mut rng, 512);
+    let msg = [0x5a; 24];
+
+    bench("padded_encrypt_512", iters(10_000), || {
+        black_box(kp.public.encrypt(&mut rng, black_box(&msg)).unwrap());
+    });
+
+    let m = BigUint::from_bytes_be(&[0x7e; 63]);
+    bench("raw_encrypt_512", iters(10_000), || {
+        black_box(kp.public.encrypt_raw(black_box(&m)).unwrap());
+    });
+}
+
+/// Key-setup ablation: one-time key size vs source minting cost and
+/// neutralizer encryption cost (§3.2 argues the source should pay).
+pub fn ablation_keysetup() {
+    header("ablation_keysetup");
+    let mut rng = StdRng::seed_from_u64(4);
+    let msg = [0x5a; 24];
+
+    for bits in [320usize, 512, 768] {
+        let kp = nn_crypto::generate_keypair(&mut rng, bits);
+        bench(
+            &format!("keygen_{bits}"),
+            iters(if bits > 512 { 5 } else { 20 }),
+            || {
+                black_box(nn_crypto::generate_keypair(&mut rng, bits));
+            },
+        );
+        bench(&format!("neutralizer_encrypt_{bits}"), iters(5_000), || {
+            black_box(kp.public.encrypt(&mut rng, black_box(&msg)).unwrap());
+        });
+    }
+}
+
+/// Stateless-design ablation: recomputing `Ks = CMAC(KM, nonce ‖ srcIP)`
+/// per packet versus the hypothetical per-flow table it replaces —
+/// quantifying what the anycast/fault-tolerance property costs.
+pub fn ablation_stateless() {
+    header("ablation_stateless");
+    let n = iters(100_000);
+    let km = MasterKey::new([0x11; 16]);
+
+    let mut i = 0u64;
+    bench("stateless_derive_per_packet", n, || {
+        i += 1;
+        black_box(km.derive_ks(black_box(i % 1024), black_box(0x0a00_0001)));
+    });
+
+    let mut table: HashMap<(u64, u32), [u8; 16]> = HashMap::new();
+    for flow in 0..1024u64 {
+        table.insert((flow, 0x0a00_0001), km.derive_ks(flow, 0x0a00_0001));
+    }
+    let mut i = 0u64;
+    bench("stateful_lookup_per_packet", n, || {
+        i += 1;
+        black_box(table.get(&(black_box(i % 1024), black_box(0x0a00_0001))));
+    });
+}

@@ -1,1 +1,39 @@
-//! placeholder
+//! # nn-core — the neutralizer and its protocol machinery
+//!
+//! The heart of the reproduction of *A Technical Approach to Net
+//! Neutrality* (HotNets 2006): the pieces that sit between the wire
+//! formats ([`nn_packet`]), the cryptographic substrate ([`nn_crypto`])
+//! and the simulator ([`nn_netsim`]).
+//!
+//! * [`neutralizer`] — the stateless border middlebox of §3: key setup
+//!   (one cheap RSA-e3 encryption), the data path (CMAC key derivation +
+//!   one AES block per packet), return-path anonymization, epoch-based
+//!   master-key rotation and optional RSA offload.
+//! * [`pushback`] — aggregate-based DoS defense for the key-setup path
+//!   (§3.6): flag and rate-limit flooding aggregates *before* spending
+//!   RSA cycles.
+//! * [`qos`] — §3.4's dynamic addresses: stateless per-(customer, flow)
+//!   addresses so guaranteed-service state can be pinned without
+//!   revealing the customer.
+//! * [`multihome`] — §3.5's source-side neutralizer selection across
+//!   multiple neutral providers, including trial-and-error probing.
+//! * [`wire`] — application-layer framing inside neutralized packets:
+//!   end-to-end transport messages, key-fetch and pushback payloads.
+//! * [`app`] — the workload interface host stacks drive, so the same
+//!   application runs unchanged over plain and neutralized transports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod multihome;
+pub mod neutralizer;
+pub mod pushback;
+pub mod qos;
+pub mod wire;
+
+pub use app::{AppCommand, AppSource, EchoApp, NullApp, ScriptedApp};
+pub use multihome::{NeutralizerSelector, SelectPolicy};
+pub use neutralizer::{MasterKeyEpochs, NeutralizerConfig, NeutralizerNode};
+pub use pushback::{PushbackConfig, PushbackEngine};
+pub use wire::{InnerPayload, KeyFetchReply, KeyFetchReq, PushbackMsg, TransportMsg};

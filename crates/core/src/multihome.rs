@@ -48,7 +48,10 @@ pub struct NeutralizerSelector {
 impl NeutralizerSelector {
     /// Builds a selector over the addresses from a `NEUT` record.
     pub fn new(addrs: Vec<Ipv4Addr>, policy: SelectPolicy) -> Self {
-        assert!(!addrs.is_empty(), "a NEUT record lists at least one neutralizer");
+        assert!(
+            !addrs.is_empty(),
+            "a NEUT record lists at least one neutralizer"
+        );
         NeutralizerSelector {
             addrs,
             policy,

@@ -17,7 +17,7 @@ use crate::wire::{KeyFetchReply, KeyFetchReq, PushbackMsg};
 use nn_crypto::kdf::MasterKey;
 use nn_crypto::sealed::AddrSealer;
 use nn_crypto::RsaPublicKey;
-use nn_netsim::{Context, IfaceId, Node, RouteTable, SimTime};
+use nn_netsim::{Context, IfaceId, Node, RouteTable};
 use nn_packet::{
     build_shim, parse_shim, shim_flags, Ipv4Addr, Ipv4Cidr, Ipv4Packet, KeyStamp, ShimRepr,
     ShimType,
@@ -232,7 +232,8 @@ impl NeutralizerNode {
                 addr_block: ShimRepr::EMPTY_BLOCK,
                 stamp: Some(KeyStamp { nonce, key: ks }),
             };
-            if let Ok(out) = build_shim(self.config.anycast, helper, parsed.ip.dscp, &shim, &payload)
+            if let Ok(out) =
+                build_shim(self.config.anycast, helper, parsed.ip.dscp, &shim, &payload)
             {
                 self.stat(ctx, "setup_offloaded");
                 self.route_out(ctx, out);
@@ -257,8 +258,13 @@ impl NeutralizerNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp: None,
         };
-        if let Ok(out) = build_shim(self.config.anycast, parsed.ip.src, parsed.ip.dscp, &shim, &ct)
-        {
+        if let Ok(out) = build_shim(
+            self.config.anycast,
+            parsed.ip.src,
+            parsed.ip.dscp,
+            &shim,
+            &ct,
+        ) {
             self.route_out(ctx, out);
         }
     }
@@ -278,8 +284,13 @@ impl NeutralizerNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp: None,
         };
-        if let Ok(out) = build_shim(self.config.anycast, client, parsed.ip.dscp, &shim, parsed.payload)
-        {
+        if let Ok(out) = build_shim(
+            self.config.anycast,
+            client,
+            parsed.ip.dscp,
+            &shim,
+            parsed.payload,
+        ) {
             self.stat(ctx, "offload_reply_forwarded");
             self.route_out(ctx, out);
         }
@@ -330,8 +341,13 @@ impl NeutralizerNode {
             stamp,
         };
         // DSCP is preserved (§3.4): tiered service still works.
-        if let Ok(out) = build_shim(parsed.ip.src, real_dst, parsed.ip.dscp, &shim, parsed.payload)
-        {
+        if let Ok(out) = build_shim(
+            parsed.ip.src,
+            real_dst,
+            parsed.ip.dscp,
+            &shim,
+            parsed.payload,
+        ) {
             self.stat(ctx, "data_forwarded");
             self.route_out(ctx, out);
         }
@@ -375,7 +391,13 @@ impl NeutralizerNode {
             addr_block: sealed,
             stamp: None,
         };
-        if let Ok(out) = build_shim(visible_src, initiator, parsed.ip.dscp, &shim, parsed.payload) {
+        if let Ok(out) = build_shim(
+            visible_src,
+            initiator,
+            parsed.ip.dscp,
+            &shim,
+            parsed.payload,
+        ) {
             self.stat(ctx, "return_anonymized");
             self.route_out(ctx, out);
         }

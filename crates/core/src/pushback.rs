@@ -9,8 +9,8 @@
 //! neutralizer's own anonymization can hide attack sources.
 //!
 //! This module implements the local half (aggregate identification +
-//! rate-limiting *before* any RSA work is spent) and emits upstream
-//! requests that [`crate::plain::PushbackRouterNode`] honors.
+//! rate-limiting *before* any RSA work is spent); the neutralizer turns
+//! flagged aggregates into upstream `Pushback` control frames.
 
 use nn_netsim::SimTime;
 use nn_packet::{Ipv4Addr, Ipv4Cidr};

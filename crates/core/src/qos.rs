@@ -79,7 +79,12 @@ mod tests {
     #[test]
     fn unlinkable_without_master_key() {
         let with_km1 = dynamic_address(pool(), &km(), Ipv4Addr::new(172, 16, 2, 1), 7);
-        let with_km2 = dynamic_address(pool(), &MasterKey::new([0x43; 16]), Ipv4Addr::new(172, 16, 2, 1), 7);
+        let with_km2 = dynamic_address(
+            pool(),
+            &MasterKey::new([0x43; 16]),
+            Ipv4Addr::new(172, 16, 2, 1),
+            7,
+        );
         assert_ne!(with_km1, with_km2, "mapping must depend on the secret");
     }
 

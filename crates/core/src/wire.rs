@@ -49,7 +49,9 @@ impl TransportMsg {
     /// Parses a tagged message.
     pub fn from_bytes(data: &[u8]) -> Result<Self, CryptoError> {
         match data.split_first() {
-            Some((&TAG_ENVELOPE, rest)) => Ok(TransportMsg::Envelope(E2eEnvelope::from_bytes(rest)?)),
+            Some((&TAG_ENVELOPE, rest)) => {
+                Ok(TransportMsg::Envelope(E2eEnvelope::from_bytes(rest)?))
+            }
             Some((&TAG_RECORD, rest)) => Ok(TransportMsg::Record(E2eRecord::from_bytes(rest)?)),
             _ => Err(CryptoError::BadLength),
         }
@@ -257,7 +259,10 @@ mod tests {
     #[test]
     fn inner_payload_truncation_rejected() {
         let with_rekey = InnerPayload {
-            rekey: Some(KeyStamp { nonce: 1, key: [0; 16] }),
+            rekey: Some(KeyStamp {
+                nonce: 1,
+                key: [0; 16],
+            }),
             app: vec![],
         };
         let bytes = with_rekey.to_bytes();

@@ -24,7 +24,12 @@ fn tables() -> &'static Tables {
         let mut inv_sbox = [0u8; 256];
         for i in 0..256u16 {
             let x = gf_inv(i as u8);
-            let b = x ^ x.rotate_left(1) ^ x.rotate_left(2) ^ x.rotate_left(3) ^ x.rotate_left(4) ^ 0x63;
+            let b = x
+                ^ x.rotate_left(1)
+                ^ x.rotate_left(2)
+                ^ x.rotate_left(3)
+                ^ x.rotate_left(4)
+                ^ 0x63;
             sbox[i as usize] = b;
             inv_sbox[b as usize] = i as u8;
         }

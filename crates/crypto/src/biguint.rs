@@ -142,7 +142,7 @@ impl BigUint {
 
     /// True when the value is even (zero counts as even).
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Number of significant bits (zero has zero bits).
@@ -157,7 +157,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / 64;
         let off = i % 64;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Returns the low 64 bits.
@@ -186,9 +186,9 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(a.len() + 1);
         let mut carry = 0u64;
-        for i in 0..a.len() {
+        for (i, &ai) in a.iter().enumerate() {
             let bi = b.get(i).copied().unwrap_or(0);
-            let (s1, c1) = a[i].overflowing_add(bi);
+            let (s1, c1) = ai.overflowing_add(bi);
             let (s2, c2) = s1.overflowing_add(carry);
             out.push(s2);
             carry = (c1 as u64) + (c2 as u64);
@@ -647,7 +647,10 @@ mod tests {
         assert_eq!(v.to_bytes_be_padded(4).unwrap(), vec![0, 0, 0xab, 0xcd]);
         assert_eq!(v.to_bytes_be_padded(2).unwrap(), vec![0xab, 0xcd]);
         assert!(v.to_bytes_be_padded(1).is_none());
-        assert_eq!(BigUint::zero().to_bytes_be_padded(3).unwrap(), vec![0, 0, 0]);
+        assert_eq!(
+            BigUint::zero().to_bytes_be_padded(3).unwrap(),
+            vec![0, 0, 0]
+        );
     }
 
     #[test]

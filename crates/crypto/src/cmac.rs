@@ -50,7 +50,7 @@ impl Cmac {
     /// Computes the 128-bit tag over `msg`.
     pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
         let n_blocks = msg.len().div_ceil(16).max(1);
-        let complete_last = !msg.is_empty() && msg.len() % 16 == 0;
+        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
 
         let mut x = [0u8; 16];
         // All blocks except the last.
@@ -64,15 +64,15 @@ impl Cmac {
         let mut last = [0u8; 16];
         if complete_last {
             last.copy_from_slice(&msg[(n_blocks - 1) * 16..]);
-            for j in 0..16 {
-                last[j] ^= self.k1[j];
+            for (l, k) in last.iter_mut().zip(self.k1.iter()) {
+                *l ^= k;
             }
         } else {
             let tail = &msg[(n_blocks - 1) * 16..];
             last[..tail.len()].copy_from_slice(tail);
             last[tail.len()] = 0x80;
-            for j in 0..16 {
-                last[j] ^= self.k2[j];
+            for (l, k) in last.iter_mut().zip(self.k2.iter()) {
+                *l ^= k;
             }
         }
         for j in 0..16 {

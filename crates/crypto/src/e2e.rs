@@ -31,7 +31,8 @@ pub struct E2eEnvelope {
 impl E2eEnvelope {
     /// Serializes for transport inside a packet payload.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(2 + self.wrapped_key.len() + 8 + 4 + self.ciphertext.len() + 16);
+        let mut out =
+            Vec::with_capacity(2 + self.wrapped_key.len() + 8 + 4 + self.ciphertext.len() + 16);
         out.extend_from_slice(&(self.wrapped_key.len() as u16).to_be_bytes());
         out.extend_from_slice(&self.wrapped_key);
         out.extend_from_slice(&self.nonce.to_be_bytes());
@@ -296,7 +297,10 @@ mod tests {
         let (mut rng, kp) = setup();
         let mut env = seal(&mut rng, &kp.public, b"sensitive").unwrap();
         env.ciphertext[0] ^= 1;
-        assert_eq!(open(&kp.private, &env).unwrap_err(), CryptoError::AuthFailed);
+        assert_eq!(
+            open(&kp.private, &env).unwrap_err(),
+            CryptoError::AuthFailed
+        );
     }
 
     #[test]
@@ -304,7 +308,10 @@ mod tests {
         let (mut rng, kp) = setup();
         let mut env = seal(&mut rng, &kp.public, b"sensitive").unwrap();
         env.tag[15] ^= 0x40;
-        assert_eq!(open(&kp.private, &env).unwrap_err(), CryptoError::AuthFailed);
+        assert_eq!(
+            open(&kp.private, &env).unwrap_err(),
+            CryptoError::AuthFailed
+        );
     }
 
     #[test]

@@ -22,13 +22,13 @@ pub fn is_prime_u128(n: u128) -> bool {
         return false;
     }
     for p in [2u128, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
-        if n % p == 0 {
+        if n.is_multiple_of(p) {
             return n == p;
         }
     }
     let mut d = n - 1;
     let mut s = 0;
-    while d % 2 == 0 {
+    while d.is_multiple_of(2) {
         d /= 2;
         s += 1;
     }
@@ -80,7 +80,7 @@ fn pow_mod_u128(mut base: u128, mut exp: u128, n: u128) -> u128 {
 /// Pollard's rho with Brent's cycle detection. Returns a non-trivial
 /// factor of composite `n`, or an error if the iteration budget runs out.
 pub fn pollard_rho(n: u128, max_iters: u64) -> Result<u128> {
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         return Ok(2);
     }
     if n < 4 {
@@ -228,6 +228,9 @@ mod tests {
     fn extrapolation_scales_linearly_with_model() {
         let measured = [(40u32, 1.0f64), (48, 4.0)];
         let t512 = extrapolate_rho_seconds(&measured, 512);
-        assert!(t512 > 1e30, "512-bit extrapolation must be astronomically large, got {t512}");
+        assert!(
+            t512 > 1e30,
+            "512-bit extrapolation must be astronomically large, got {t512}"
+        );
     }
 }

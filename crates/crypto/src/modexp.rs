@@ -92,7 +92,7 @@ impl Montgomery {
     }
 
     /// Converts out of Montgomery form: `x * R^{-1} mod n`.
-    fn from_mont(&self, x: &BigUint) -> BigUint {
+    fn demont(&self, x: &BigUint) -> BigUint {
         let mut t = x.limbs().to_vec();
         self.redc(&mut t)
     }
@@ -117,14 +117,14 @@ impl Montgomery {
                 b = self.mont_mul(&b, &b);
             }
         }
-        self.from_mont(&acc)
+        self.demont(&acc)
     }
 
     /// Modular multiplication `a * b mod n` through the Montgomery domain.
     pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
         let am = self.to_mont(&a.rem(&self.n));
         let bm = self.to_mont(&b.rem(&self.n));
-        self.from_mont(&self.mont_mul(&am, &bm))
+        self.demont(&self.mont_mul(&am, &bm))
     }
 }
 

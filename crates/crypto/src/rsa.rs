@@ -70,7 +70,7 @@ pub struct RsaKeypair {
 /// the end-to-end keys. Primes are constrained so gcd(e, φ(n)) = 1.
 pub fn generate_keypair<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> RsaKeypair {
     assert!(
-        bits >= 128 && bits % 2 == 0,
+        bits >= 128 && bits.is_multiple_of(2),
         "modulus must be an even bit count of at least 128"
     );
     let e = BigUint::from_u64(PUBLIC_EXPONENT);
@@ -177,7 +177,7 @@ impl RsaPublicKey {
             return Err(CryptoError::BadKey);
         }
         let k = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
-        if k < 16 || k > 1024 || bytes.len() < 2 + k {
+        if !(16..=1024).contains(&k) || bytes.len() < 2 + k {
             return Err(CryptoError::BadKey);
         }
         let n = BigUint::from_bytes_be(&bytes[2..2 + k]);

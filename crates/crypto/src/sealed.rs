@@ -97,7 +97,10 @@ mod tests {
     #[test]
     fn wrong_key_detected() {
         let sealed = seal_addr(&[1u8; 16], 5, 42);
-        assert_eq!(open_addr(&[2u8; 16], 5, &sealed), Err(CryptoError::AuthFailed));
+        assert_eq!(
+            open_addr(&[2u8; 16], 5, &sealed),
+            Err(CryptoError::AuthFailed)
+        );
     }
 
     #[test]

@@ -128,14 +128,25 @@ mod tests {
         for n in ["google.com", "www.Google.COM.", "a.b-c.d_e.f", "x"] {
             assert!(DnsName::new(n).is_ok(), "{n}");
         }
-        assert_eq!(DnsName::new("WWW.Google.Com").unwrap().as_str(), "www.google.com");
+        assert_eq!(
+            DnsName::new("WWW.Google.Com").unwrap().as_str(),
+            "www.google.com"
+        );
     }
 
     #[test]
     fn invalid_names() {
         let long_label = "a".repeat(64);
         let long_name = format!("{}.com", "a.".repeat(130));
-        for n in ["", ".", "a..b", &long_label, &long_name, "bad name", "emoji🦀"] {
+        for n in [
+            "",
+            ".",
+            "a..b",
+            &long_label,
+            &long_name,
+            "bad name",
+            "emoji🦀",
+        ] {
             assert!(DnsName::new(n).is_err(), "{n:?} should be rejected");
         }
     }

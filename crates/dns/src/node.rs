@@ -97,7 +97,8 @@ impl Node for DnsServerNode {
                     return;
                 };
                 let Ok(envelope) = E2eEnvelope::from_bytes(udp.payload) else {
-                    ctx.stats.count(&format!("{}.bad_envelope", self.stats_name));
+                    ctx.stats
+                        .count(&format!("{}.bad_envelope", self.stats_name));
                     return;
                 };
                 let Ok((inner, session_key)) = e2e::open(&keypair.private, &envelope) else {

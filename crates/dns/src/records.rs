@@ -97,7 +97,9 @@ impl RecordData {
                 if data.len() != 4 {
                     return Err(DnsError::BadWire);
                 }
-                Ok(RecordData::A(Ipv4Addr::new(data[0], data[1], data[2], data[3])))
+                Ok(RecordData::A(Ipv4Addr::new(
+                    data[0], data[1], data[2], data[3],
+                )))
             }
             rtype::TXT => Ok(RecordData::Txt(data.to_vec())),
             rtype::NEUT => Ok(RecordData::Neut(NeutInfo::from_rdata(data)?)),
@@ -196,7 +198,11 @@ mod tests {
 
     #[test]
     fn record_construction() {
-        let r = Record::new(name("google.com"), 3600, RecordData::A(Ipv4Addr::new(8, 8, 8, 8)));
+        let r = Record::new(
+            name("google.com"),
+            3600,
+            RecordData::A(Ipv4Addr::new(8, 8, 8, 8)),
+        );
         assert_eq!(r.ttl_secs, 3600);
         assert_eq!(r.data.rtype(), rtype::A);
     }

@@ -148,10 +148,7 @@ impl DnsMessage {
             id,
             is_response: flags & 0x8000 != 0,
             rcode: Rcode::from_bits(flags)?,
-            question: Question {
-                name: qname,
-                qtype,
-            },
+            question: Question { name: qname, qtype },
             answers,
         })
     }

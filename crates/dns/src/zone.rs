@@ -145,7 +145,12 @@ mod tests {
     fn cache_honors_ttl() {
         let mut c = DnsCache::new();
         let n = name("google.com");
-        c.insert(SimTime::ZERO, n.clone(), rtype::A, vec![a_record("google.com", 10)]);
+        c.insert(
+            SimTime::ZERO,
+            n.clone(),
+            rtype::A,
+            vec![a_record("google.com", 10)],
+        );
         assert!(c.get(SimTime::from_secs(5), &n, rtype::A).is_some());
         assert!(c.get(SimTime::from_secs(10), &n, rtype::A).is_none());
         assert_eq!(c.hits, 1);
@@ -169,7 +174,12 @@ mod tests {
     fn cache_distinguishes_types() {
         let mut c = DnsCache::new();
         let n = name("x.y");
-        c.insert(SimTime::ZERO, n.clone(), rtype::A, vec![a_record("x.y", 100)]);
+        c.insert(
+            SimTime::ZERO,
+            n.clone(),
+            rtype::A,
+            vec![a_record("x.y", 100)],
+        );
         assert!(c.get(SimTime::ZERO, &n, rtype::NEUT).is_none());
     }
 }

@@ -1,0 +1,109 @@
+//! The §3.1 bootstrap flow through the public API: a destination
+//! publishes its `NEUT` record in a zone, a client resolves it through
+//! the TTL-honoring cache, and the triple survives the rdata wire
+//! round-trip.
+
+use nn_dns::{rtype, DnsCache, DnsName, Lookup, NeutInfo, Record, RecordData, ZoneStore};
+use nn_netsim::SimTime;
+use nn_packet::Ipv4Addr;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn neut_zone(pubkey_wire: Vec<u8>) -> (ZoneStore, DnsName) {
+    let name = DnsName::new("shop.neutral.example").unwrap();
+    let mut zone = ZoneStore::new();
+    zone.add(Record::new(
+        name.clone(),
+        60,
+        RecordData::A(Ipv4Addr::new(10, 7, 0, 99)),
+    ));
+    zone.add(Record::new(
+        name.clone(),
+        60,
+        RecordData::Neut(NeutInfo {
+            neutralizers: vec![
+                Ipv4Addr::new(198, 18, 0, 1),
+                Ipv4Addr::new(198, 18, 1, 1), // multi-homed site, §3.5
+            ],
+            pubkey_wire,
+        }),
+    ));
+    (zone, name)
+}
+
+#[test]
+fn neut_record_resolves_through_cache() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let kp = nn_crypto::generate_keypair(&mut rng, 320);
+    let (zone, name) = neut_zone(kp.public.to_wire());
+    let mut cache = DnsCache::new();
+    let t0 = SimTime::ZERO;
+
+    // Cold: miss, then authoritative query, then fill.
+    assert!(cache.get(t0, &name, rtype::NEUT).is_none());
+    let Lookup::Found(records) = zone.query(&name, rtype::NEUT) else {
+        panic!("zone must hold the NEUT record");
+    };
+    cache.insert(t0, name.clone(), rtype::NEUT, records.clone());
+
+    // Warm: hit serves the same records.
+    let cached = cache
+        .get(SimTime::from_secs(10), &name, rtype::NEUT)
+        .unwrap();
+    assert_eq!(cached, records);
+    assert_eq!(cache.hits, 1);
+    assert_eq!(cache.misses, 1);
+
+    // The bootstrap triple is intact after the cache round-trip.
+    let RecordData::Neut(info) = &cached[0].data else {
+        panic!("NEUT rdata expected");
+    };
+    assert_eq!(info.neutralizers.len(), 2);
+    let (parsed, _) = nn_crypto::RsaPublicKey::from_wire(&info.pubkey_wire).unwrap();
+    assert_eq!(parsed.modulus_bits(), 320);
+}
+
+#[test]
+fn cache_honors_ttl_expiry() {
+    let (zone, name) = neut_zone(vec![0u8; 4]);
+    let mut cache = DnsCache::new();
+    let Lookup::Found(records) = zone.query(&name, rtype::NEUT) else {
+        panic!("record exists");
+    };
+    cache.insert(SimTime::ZERO, name.clone(), rtype::NEUT, records);
+    // Inside the 60 s TTL: hit. Past it: miss, forcing a re-query.
+    assert!(cache
+        .get(SimTime::from_secs(59), &name, rtype::NEUT)
+        .is_some());
+    assert!(cache
+        .get(SimTime::from_secs(61), &name, rtype::NEUT)
+        .is_none());
+    assert_eq!(cache.misses, 1);
+}
+
+#[test]
+fn neut_rdata_wire_roundtrip_and_rejection() {
+    let info = NeutInfo {
+        neutralizers: vec![Ipv4Addr::new(198, 18, 0, 1)],
+        pubkey_wire: vec![1, 2, 3, 4, 5],
+    };
+    let rdata = info.to_rdata();
+    assert_eq!(NeutInfo::from_rdata(&rdata).unwrap(), info);
+    // Truncated address list rejected.
+    assert!(NeutInfo::from_rdata(&[2, 1, 2, 3, 4]).is_err());
+    assert!(NeutInfo::from_rdata(&[]).is_err());
+    // Through the generic RecordData path too.
+    let rd = RecordData::Neut(info.clone());
+    assert_eq!(
+        RecordData::from_rdata(rtype::NEUT, &rd.to_rdata()).unwrap(),
+        rd
+    );
+}
+
+#[test]
+fn zone_distinguishes_nodata_from_nxdomain() {
+    let (zone, name) = neut_zone(vec![]);
+    assert!(matches!(zone.query(&name, rtype::TXT), Lookup::NoData));
+    let other = DnsName::new("absent.example").unwrap();
+    assert!(matches!(zone.query(&other, rtype::A), Lookup::NxDomain));
+}

@@ -87,9 +87,7 @@ impl Node for RouterNode {
         }
         // Policy.
         let draw: f64 = rand::Rng::gen(ctx.rng);
-        let verdict = self
-            .policy
-            .evaluate(ctx.now.as_nanos(), &frame, draw);
+        let verdict = self.policy.evaluate(ctx.now.as_nanos(), &frame, draw);
         match verdict {
             Verdict::Forward => self.forward(ctx, frame),
             Verdict::ForwardDscp(dscp) => {
@@ -237,15 +235,15 @@ mod tests {
     #[test]
     fn policy_delay_adds_latency() {
         let (mut sim, _a, r, b) = triangle();
-        sim.node_mut::<RouterNode>(r).unwrap().set_policy(
-            PolicyEngine::new().with(Rule::new(
+        sim.node_mut::<RouterNode>(r)
+            .unwrap()
+            .set_policy(PolicyEngine::new().with(Rule::new(
                 "lag",
                 MatchExpr::True,
                 Action::Delay {
                     extra: Duration::from_millis(50),
                 },
-            )),
-        );
+            )));
         let frame = build_udp(HOST_A, HOST_B, 0, 1, 2, b"slow").unwrap();
         sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
         sim.run(100);

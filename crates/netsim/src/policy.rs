@@ -66,27 +66,23 @@ impl MatchExpr {
             MatchExpr::Not(m) => !m.matches(frame),
             MatchExpr::DstPrefix(p) => ip_view(frame).is_some_and(|ip| p.contains(ip.dst_addr())),
             MatchExpr::SrcPrefix(p) => ip_view(frame).is_some_and(|ip| p.contains(ip.src_addr())),
-            MatchExpr::Protocol(proto) => {
-                ip_view(frame).is_some_and(|ip| ip.protocol() == *proto)
+            MatchExpr::Protocol(proto) => ip_view(frame).is_some_and(|ip| ip.protocol() == *proto),
+            MatchExpr::DstPort(port) => parse_udp(frame).is_ok_and(|u| u.dst_port == *port),
+            MatchExpr::SrcPort(port) => parse_udp(frame).is_ok_and(|u| u.src_port == *port),
+            MatchExpr::PayloadContains(pattern) => {
+                parse_udp(frame).is_ok_and(|u| contains(u.payload, pattern))
             }
-            MatchExpr::DstPort(port) => {
-                parse_udp(frame).is_ok_and(|u| u.dst_port == *port)
-            }
-            MatchExpr::SrcPort(port) => {
-                parse_udp(frame).is_ok_and(|u| u.src_port == *port)
-            }
-            MatchExpr::PayloadContains(pattern) => parse_udp(frame)
-                .is_ok_and(|u| contains(u.payload, pattern)),
-            MatchExpr::LooksEncrypted { min_len } => {
-                let payload = match ip_view(frame) {
-                    Some(ip) => ip.payload().to_vec(),
-                    None => return false,
-                };
-                payload.len() >= *min_len && looks_encrypted(&payload)
-            }
+            MatchExpr::LooksEncrypted { min_len } => match ip_view(frame) {
+                Some(ip) => {
+                    let payload = ip.payload();
+                    payload.len() >= *min_len && looks_encrypted(payload)
+                }
+                None => false,
+            },
             MatchExpr::IsShim => ip_view(frame).is_some_and(|ip| ip.protocol() == proto::SHIM),
-            MatchExpr::IsKeySetup => parse_shim(frame)
-                .is_ok_and(|s| s.shim.shim_type == ShimType::KeySetup),
+            MatchExpr::IsKeySetup => {
+                parse_shim(frame).is_ok_and(|s| s.shim.shim_type == ShimType::KeySetup)
+            }
             MatchExpr::DscpAtLeast(d) => ip_view(frame).is_some_and(|ip| ip.dscp() >= *d),
             MatchExpr::LenAtMost(max) => frame.len() <= *max,
         }
@@ -336,7 +332,9 @@ mod tests {
         let text = udp_frame(b"this is a perfectly ordinary plaintext sip invite message body with headers and words");
         assert!(!MatchExpr::LooksEncrypted { min_len: 32 }.matches(&text));
         // Pseudo-ciphertext: every byte value distinct-ish.
-        let ct: Vec<u8> = (0..96u32).map(|i| (i.wrapping_mul(197) >> 3) as u8 ^ (i as u8).rotate_left(3)).collect();
+        let ct: Vec<u8> = (0..96u32)
+            .map(|i| (i.wrapping_mul(197) >> 3) as u8 ^ (i as u8).rotate_left(3))
+            .collect();
         let enc = udp_frame(&ct);
         assert!(MatchExpr::LooksEncrypted { min_len: 32 }.matches(&enc));
         // Short payloads never match.

@@ -179,8 +179,7 @@ impl Queue for Red {
             return EnqueueResult::Dropped;
         }
         if occ > self.min_bytes {
-            let ramp =
-                (occ - self.min_bytes) as f64 / (self.max_bytes - self.min_bytes) as f64;
+            let ramp = (occ - self.min_bytes) as f64 / (self.max_bytes - self.min_bytes) as f64;
             if rng_draw < ramp * self.max_prob {
                 return EnqueueResult::Dropped;
             }

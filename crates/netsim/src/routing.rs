@@ -34,7 +34,8 @@ impl RouteTable {
             return;
         }
         self.routes.push((prefix, iface));
-        self.routes.sort_by(|a, b| b.0.prefix_len.cmp(&a.0.prefix_len));
+        self.routes
+            .sort_by_key(|r| std::cmp::Reverse(r.0.prefix_len));
     }
 
     /// Longest-prefix match.
@@ -213,12 +214,14 @@ mod tests {
 
     #[test]
     fn unreachable_nodes_get_no_route() {
-        let edges = vec![(0usize, 0usize, 1usize, Duration::from_millis(1)),
-                         (1, 0, 0, Duration::from_millis(1))];
+        let edges = vec![
+            (0usize, 0usize, 1usize, Duration::from_millis(1)),
+            (1, 0, 0, Duration::from_millis(1)),
+        ];
         // Node 2 is disconnected.
         let prefixes = vec![(cidr(10, 0, 0, 0, 8), 0usize)];
         let tables = compute_routes(&edges, &prefixes, 3);
-        assert!(tables.get(&2).is_none());
+        assert!(!tables.contains_key(&2));
         assert_eq!(tables[&1].lookup(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
     }
 }

@@ -443,9 +443,7 @@ impl Simulator {
             timers: Vec::new(),
         };
         f(&mut node, &mut ctx);
-        let Context {
-            outbox, timers, ..
-        } = ctx;
+        let Context { outbox, timers, .. } = ctx;
         self.nodes[node_id] = Some(node);
         for (iface, frame) in outbox {
             let dir = *self.ifaces[node_id]
@@ -454,10 +452,13 @@ impl Simulator {
             self.transmit(dir, frame);
         }
         for (delay, token) in timers {
-            self.push_event(self.now + delay, EventKind::Timer {
-                node: node_id,
-                token,
-            });
+            self.push_event(
+                self.now + delay,
+                EventKind::Timer {
+                    node: node_id,
+                    token,
+                },
+            );
         }
     }
 
@@ -493,20 +494,24 @@ impl Simulator {
         if fault.drop_prob > 0.0 && self.rng.gen::<f64>() < fault.drop_prob {
             deliver = false;
             self.dirs[dir].counters.fault_drops += 1;
-        } else if fault.corrupt_prob > 0.0 && self.rng.gen::<f64>() < fault.corrupt_prob {
-            if !frame.is_empty() {
-                let idx = self.rng.gen_range(0..frame.len());
-                frame[idx] ^= 1 << self.rng.gen_range(0..8);
-                self.dirs[dir].counters.fault_drops += 1;
-            }
+        } else if fault.corrupt_prob > 0.0
+            && self.rng.gen::<f64>() < fault.corrupt_prob
+            && !frame.is_empty()
+        {
+            let idx = self.rng.gen_range(0..frame.len());
+            frame[idx] ^= 1u8 << self.rng.gen_range(0..8);
+            self.dirs[dir].counters.fault_drops += 1;
         }
         if deliver {
             self.dirs[dir].counters.delivered += 1;
-            self.push_event(deliver_at, EventKind::Deliver {
-                node: to_node,
-                iface: to_iface,
-                frame,
-            });
+            self.push_event(
+                deliver_at,
+                EventKind::Deliver {
+                    node: to_node,
+                    iface: to_iface,
+                    frame,
+                },
+            );
         }
         self.push_event(done_at, EventKind::TxDone { dir });
     }
@@ -642,7 +647,8 @@ mod tests {
         sim.connect_sym(
             pinger,
             echo,
-            LinkConfig::new(mbps(10), Duration::from_millis(1)).with_queue(QueueKind::DropTail, 2000),
+            LinkConfig::new(mbps(10), Duration::from_millis(1))
+                .with_queue(QueueKind::DropTail, 2000),
         );
         sim.run(10_000);
         let c = sim.link_counters(pinger, 0);
@@ -672,7 +678,11 @@ mod tests {
         sim.connect(pinger, echo, lossy, clean);
         sim.run(100_000);
         let e = sim.node_ref::<Echo>(echo).unwrap();
-        assert!(e.rx > 50 && e.rx < 150, "~half the frames survive, got {}", e.rx);
+        assert!(
+            e.rx > 50 && e.rx < 150,
+            "~half the frames survive, got {}",
+            e.rx
+        );
         let c = sim.link_counters(pinger, 0);
         assert_eq!(c.fault_drops + c.delivered, 200);
     }
@@ -692,12 +702,11 @@ mod tests {
                 }),
             );
             let echo = sim.add_node("e", Box::new(Echo { rx: 0 }));
-            let lossy = LinkConfig::new(mbps(50), Duration::from_micros(100)).with_fault(
-                FaultConfig {
+            let lossy =
+                LinkConfig::new(mbps(50), Duration::from_micros(100)).with_fault(FaultConfig {
                     drop_prob: 0.3,
                     corrupt_prob: 0.1,
-                },
-            );
+                });
             sim.connect(pinger, echo, lossy, lossy);
             sim.run(1_000_000);
             sim.node_ref::<Pinger>(pinger).unwrap().replies

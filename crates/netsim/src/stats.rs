@@ -72,20 +72,14 @@ impl FlowStats {
         if self.delays.len() < 2 {
             return 0.0;
         }
-        let diffs: f64 = self
-            .delays
-            .windows(2)
-            .map(|w| (w[1] - w[0]).abs())
-            .sum();
+        let diffs: f64 = self.delays.windows(2).map(|w| (w[1] - w[0]).abs()).sum();
         diffs / (self.delays.len() - 1) as f64
     }
 
     /// Receive goodput in bits/sec over the first..last delivery window.
     pub fn goodput_bps(&self) -> f64 {
         match (self.first_rx, self.last_rx) {
-            (Some(a), Some(b)) if b > a => {
-                (self.rx_bytes as f64 * 8.0) / (b - a).as_secs_f64()
-            }
+            (Some(a), Some(b)) if b > a => (self.rx_bytes as f64 * 8.0) / (b - a).as_secs_f64(),
             _ => 0.0,
         }
     }
@@ -225,8 +219,10 @@ mod tests {
 
     #[test]
     fn percentiles_and_jitter() {
-        let mut f = FlowStats::default();
-        f.delays = vec![0.010, 0.020, 0.030, 0.040, 0.100];
+        let f = FlowStats {
+            delays: vec![0.010, 0.020, 0.030, 0.040, 0.100],
+            ..FlowStats::default()
+        };
         assert!((f.delay_percentile(0.0) - 0.010).abs() < 1e-12);
         assert!((f.delay_percentile(100.0) - 0.100).abs() < 1e-12);
         assert!(f.delay_percentile(50.0) >= 0.020 && f.delay_percentile(50.0) <= 0.040);

@@ -474,7 +474,10 @@ mod tests {
     #[test]
     fn checksum_rfc1071_example() {
         // Canonical example from RFC 1071 §3: odd-length and even-length.
-        assert_eq!(checksum(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]), !0xddf2);
+        assert_eq!(
+            checksum(&[0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7]),
+            !0xddf2
+        );
     }
 
     proptest! {

@@ -138,8 +138,7 @@ impl<T: AsRef<[u8]>> ShimPacket<T> {
 
     /// The message type.
     pub fn shim_type(&self) -> ShimType {
-        ShimType::from_nibble(self.buffer.as_ref()[0] & 0x0f)
-            .expect("validated at construction")
+        ShimType::from_nibble(self.buffer.as_ref()[0] & 0x0f).expect("validated at construction")
     }
 
     /// Raw flag byte.
