@@ -1,17 +1,21 @@
 //! `nn-scenarios` — run the discrimination scenarios and print a report.
 //!
 //! ```text
-//! nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME]
+//! nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME] [--json] [--list]
 //! ```
 //!
 //! With no arguments all three scenarios run under the default seed and
 //! the tool prints per-flow goodput/delay plus the recovery summary.
+//! `--json` replaces the human-readable report with a machine-readable
+//! JSON array of `ScenarioReport`s; `--list` prints the scenario names
+//! and exits. Unknown flags exit with status 2 and a usage message.
 
 use nn_apps::scenario::{run_scenario, Scenario, ScenarioConfig};
+use nn_lab::json::Json;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME]\n\
+        "usage: nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME] [--json] [--list]\n\
          scenarios: {}",
         Scenario::ALL
             .iter()
@@ -25,6 +29,7 @@ fn usage() -> ! {
 fn main() {
     let mut cfg = ScenarioConfig::default();
     let mut only: Option<Scenario> = None;
+    let mut json = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -45,6 +50,13 @@ fn main() {
                 let name = next_value(&mut i);
                 only = Some(Scenario::from_name(&name).unwrap_or_else(|| usage()));
             }
+            "--json" => json = true,
+            "--list" => {
+                for s in Scenario::ALL {
+                    println!("{}", s.name());
+                }
+                return;
+            }
             _ => usage(),
         }
         i += 1;
@@ -58,9 +70,17 @@ fn main() {
     let mut results = Vec::new();
     for s in &scenarios {
         let report = run_scenario(*s, &cfg);
-        print!("{report}");
-        println!();
+        if !json {
+            print!("{report}");
+            println!();
+        }
         results.push(report);
+    }
+
+    if json {
+        let body = Json::Arr(results.iter().map(|r| r.to_json()).collect());
+        println!("{}", body.render());
+        return;
     }
 
     if only.is_none() {

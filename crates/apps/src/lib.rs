@@ -1,22 +1,25 @@
 //! # nn-apps — end-to-end scenario harness
 //!
-//! Wires the whole reproduction together: application workloads from
-//! [`nn_core::app`] run over host stacks ([`hosts`]) through the
-//! discriminatory ISP and the neutralizer inside the deterministic
-//! simulator, and [`scenario`] packages the paper's A/B/C comparison —
-//! baseline, DPI-throttled, DPI-throttled-but-neutralized — into named,
-//! reproducible runs reporting per-flow goodput and delay.
+//! Wires the paper's headline comparison together: the [`scenario`]
+//! module packages the A/B/C comparison — baseline, DPI-throttled,
+//! DPI-throttled-but-neutralized — as named, reproducible presets over
+//! the [`nn_lab`] experiment engine (which owns the host stacks,
+//! topology generators, workload library and matrix runner).
 //!
 //! The `nn-scenarios` binary runs the three scenarios and prints the
-//! comparison table; `tests/e2e_scenario.rs` at the workspace root
-//! asserts the headline result (the neutralizer recovers goodput under
-//! content DPI) and simulator determinism.
+//! comparison table (or `--json`); `tests/e2e_scenario.rs` at the
+//! workspace root asserts the headline result (the neutralizer recovers
+//! goodput under content DPI) and simulator determinism. For full
+//! parameter sweeps, use the `nn-lab` binary instead.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod hosts;
 pub mod scenario;
+
+/// The host stacks every scenario runs over (re-exported from
+/// [`nn_lab`], where they live so the whole matrix engine can use them).
+pub use nn_lab::hosts;
 
 pub use hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,

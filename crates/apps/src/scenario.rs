@@ -1,4 +1,5 @@
-//! End-to-end discrimination scenarios.
+//! End-to-end discrimination scenarios — thin presets over the
+//! [`nn_lab`] experiment engine.
 //!
 //! One topology, three treatments — the A/B/C comparison the paper's
 //! evaluation is built around:
@@ -19,37 +20,25 @@
 //!   encrypted and the destination hidden, so content DPI has nothing to
 //!   match and goodput recovers.
 //!
-//! Everything is driven by one seeded [`Simulator`], so a (scenario,
-//! seed, config) triple reproduces byte-identical reports.
+//! Each scenario maps onto exactly one [`nn_lab::CellSpec`] — the legacy
+//! chain topology, the VoIP workload, the content-DPI adversary preset
+//! and one of the two host stacks — so a (scenario, seed, config) triple
+//! reproduces byte-identical reports, and the same cells can ride in any
+//! matrix the lab expands.
 
-use crate::hosts::{
-    Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
+use nn_lab::json::Json;
+use nn_lab::{
+    run_cell, AdversarySpec, CellSpec, CellTuning, StackKind, TopologySpec, WorkloadSpec,
 };
-use nn_core::app::ScriptedApp;
-use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
-use nn_dns::{rtype, DnsCache, DnsName, Lookup, NeutInfo, Record, RecordData, ZoneStore};
-use nn_netsim::{
-    compute_routes, Action, FlowKey, LinkConfig, MatchExpr, PolicyEngine, RouterNode, Rule,
-    SimTime, Simulator,
-};
-use nn_packet::{Ipv4Addr, Ipv4Cidr};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 use std::time::Duration;
 
-/// The source host's address (outside the neutral domain).
-pub const SRC_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
-/// The destination customer's address (inside the neutral domain).
-pub const DST_ADDR: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 99);
-/// The neutralizer anycast service address.
-pub const ANYCAST_ADDR: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
-/// The destination's DNS name, whose `NEUT` record carries the bootstrap
-/// triple of §3.1.
-pub const DST_NAME: &str = "shop.neutral.example";
+pub use nn_lab::cell::DST_NAME;
+pub use nn_lab::topology::{ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
 
 /// The content signature the ISP's DPI keys on — embedded in every plain
-/// app payload, invisible once end-to-end encrypted.
+/// VoIP payload, invisible once end-to-end encrypted. (This is the VoIP
+/// workload's marker in [`nn_lab::workload`].)
 pub const DPI_MARKER: &[u8] = b"VOIP/RTP";
 
 /// Tuning for a scenario run.
@@ -104,6 +93,15 @@ impl ScenarioConfig {
             ..ScenarioConfig::default()
         }
     }
+
+    fn tuning(&self) -> CellTuning {
+        CellTuning {
+            duration: self.duration,
+            onetime_rsa_bits: self.onetime_rsa_bits,
+            e2e_rsa_bits: self.e2e_rsa_bits,
+            echo: self.echo,
+        }
+    }
 }
 
 /// The three named scenarios.
@@ -134,9 +132,12 @@ impl Scenario {
         }
     }
 
-    /// Parses a scenario name.
+    /// Parses a scenario name. Matching is case-insensitive and treats
+    /// `-` and `_` as interchangeable, so `BASELINE` and
+    /// `dpi_throttled_plain` both resolve.
     pub fn from_name(name: &str) -> Option<Scenario> {
-        Scenario::ALL.into_iter().find(|s| s.name() == name)
+        let normalized = name.trim().to_ascii_lowercase().replace('_', "-");
+        Scenario::ALL.into_iter().find(|s| s.name() == normalized)
     }
 
     fn neutralized(self) -> bool {
@@ -146,26 +147,37 @@ impl Scenario {
     fn discriminates(self) -> bool {
         !matches!(self, Scenario::Baseline)
     }
+
+    /// The lab cell this scenario is a preset for.
+    pub fn cell_spec(self, cfg: &ScenarioConfig) -> CellSpec {
+        CellSpec {
+            topology: TopologySpec::chain(),
+            workload: WorkloadSpec::Voip {
+                packet_interval: cfg.packet_interval,
+                payload_bytes: cfg.payload_bytes,
+            },
+            adversary: if self.discriminates() {
+                AdversarySpec::ContentDpi {
+                    rate_bps: cfg.throttle_rate_bps,
+                    burst_bytes: cfg.throttle_burst_bytes,
+                }
+            } else {
+                AdversarySpec::None
+            },
+            stack: if self.neutralized() {
+                StackKind::Neutralized
+            } else {
+                StackKind::Plain
+            },
+            seed: cfg.seed,
+        }
+    }
 }
 
-/// Per-flow results extracted from [`nn_netsim::stats`].
-#[derive(Debug, Clone, PartialEq)]
-pub struct FlowReport {
-    /// Flow name.
-    pub flow: String,
-    /// Packets sent by the application.
-    pub tx_packets: u64,
-    /// Packets delivered to the destination app.
-    pub rx_packets: u64,
-    /// rx/tx ratio.
-    pub delivery_ratio: f64,
-    /// Application-byte goodput over the delivery window, bits/sec.
-    pub goodput_bps: f64,
-    /// Mean one-way delay, milliseconds.
-    pub mean_delay_ms: f64,
-    /// 99th-percentile one-way delay, milliseconds.
-    pub p99_delay_ms: f64,
-}
+/// Per-flow results extracted from [`nn_netsim::stats`] — the lab's
+/// cell-flow record, re-exported so scenario and matrix reports share
+/// one schema (including its JSON form).
+pub use nn_lab::CellFlow as FlowReport;
 
 /// The outcome of one scenario run.
 #[derive(Debug, Clone, PartialEq)]
@@ -193,6 +205,27 @@ impl ScenarioReport {
     /// The forward flow's goodput (the headline number).
     pub fn goodput_bps(&self) -> f64 {
         self.flows.first().map(|f| f.goodput_bps).unwrap_or(0.0)
+    }
+
+    /// Machine-readable JSON rendering (the `nn-scenarios --json` body).
+    /// Flow and counter objects share the lab's canonical schema.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("scenario", Json::Str(self.scenario.clone())),
+            ("seed", Json::UInt(self.seed)),
+            (
+                "flows",
+                Json::Arr(self.flows.iter().map(FlowReport::to_json).collect()),
+            ),
+            ("replies", Json::UInt(self.replies)),
+            (
+                "verified_return_blocks",
+                Json::UInt(self.verified_return_blocks),
+            ),
+            ("policy_drops", Json::UInt(self.policy_drops)),
+            ("counters", nn_lab::cell::counters_to_json(&self.counters)),
+            ("events", Json::UInt(self.events)),
+        ])
     }
 }
 
@@ -225,234 +258,18 @@ impl fmt::Display for ScenarioReport {
     }
 }
 
-/// Builds the CBR app payload: the DPI marker plus a sequence number,
-/// padded to the configured size. In the plain scenarios this marker is
-/// exactly what the ISP's classifier matches.
-fn cbr_payload(seq: u64, size: usize) -> Vec<u8> {
-    // A payload too small to carry the marker would silently turn the
-    // DPI scenarios into no-ops; fail loudly instead.
-    assert!(
-        size >= DPI_MARKER.len(),
-        "payload_bytes must fit the {}-byte DPI marker",
-        DPI_MARKER.len()
-    );
-    let mut data = Vec::with_capacity(size);
-    data.extend_from_slice(DPI_MARKER);
-    data.extend_from_slice(b" seq=");
-    data.extend_from_slice(seq.to_string().as_bytes());
-    data.resize(size, b'.');
-    data
-}
-
-/// Resolves the destination's bootstrap triple from its DNS records,
-/// going through the TTL cache the way a real stub resolver would.
-fn resolve_bootstrap(zone: &ZoneStore, cache: &mut DnsCache, now: SimTime) -> Bootstrap {
-    let name = DnsName::new(DST_NAME).expect("valid name");
-    if cache.get(now, &name, rtype::NEUT).is_none() {
-        match zone.query(&name, rtype::NEUT) {
-            Lookup::Found(records) => cache.insert(now, name.clone(), rtype::NEUT, records),
-            other => panic!("NEUT bootstrap record missing: {other:?}"),
-        }
-    }
-    // Serve from the cache so the hit path actually runs; repeat
-    // resolutions within the TTL never touch the zone again.
-    let records = cache
-        .get(now, &name, rtype::NEUT)
-        .expect("just-inserted NEUT record is cached");
-    assert!(cache.hits >= 1, "bootstrap must come from the cache");
-    let RecordData::Neut(info) = &records[0].data else {
-        panic!("NEUT query returned non-NEUT data");
-    };
-    let (pubkey, _) =
-        nn_crypto::RsaPublicKey::from_wire(&info.pubkey_wire).expect("published key parses");
-    let dest = match zone.query(&name, rtype::A) {
-        Lookup::Found(recs) => match recs[0].data {
-            RecordData::A(addr) => addr,
-            _ => unreachable!("A query returned non-A data"),
-        },
-        other => panic!("A record missing: {other:?}"),
-    };
-    Bootstrap {
-        dest,
-        neutralizer: info.neutralizers[0],
-        dest_pubkey: pubkey,
-    }
-}
-
 /// Runs one scenario to completion and extracts its report.
 pub fn run_scenario(scenario: Scenario, cfg: &ScenarioConfig) -> ScenarioReport {
-    let flow = "voip";
-    // §3.1 bootstrap — only neutralized scenarios mint the destination's
-    // end-to-end keypair and resolve its NEUT record; plain transports
-    // need neither, and RSA keygen is the expensive part of setup.
-    // Setup-time randomness comes from its own stream so it is
-    // independent of in-simulation draws.
-    let bootstrap_and_keys = scenario.neutralized().then(|| {
-        let mut setup_rng = StdRng::seed_from_u64(cfg.seed ^ 0x5e7u64);
-        let dest_keypair = nn_crypto::generate_keypair(&mut setup_rng, cfg.e2e_rsa_bits);
-        let mut zone = ZoneStore::new();
-        let name = DnsName::new(DST_NAME).expect("valid name");
-        zone.add(Record::new(name.clone(), 300, RecordData::A(DST_ADDR)));
-        zone.add(Record::new(
-            name,
-            300,
-            RecordData::Neut(NeutInfo {
-                neutralizers: vec![ANYCAST_ADDR],
-                pubkey_wire: dest_keypair.public.to_wire(),
-            }),
-        ));
-        let mut cache = DnsCache::new();
-        (
-            resolve_bootstrap(&zone, &mut cache, SimTime::ZERO),
-            dest_keypair,
-        )
-    });
-
-    // Topology.
-    let mut sim = Simulator::new(cfg.seed);
-    let schedule: Vec<(SimTime, Vec<u8>)> = {
-        let interval = cfg.packet_interval.as_nanos() as u64;
-        let n = (cfg.duration.as_nanos() as u64 / interval).max(1);
-        (0..n)
-            .map(|i| (SimTime(i * interval), cbr_payload(i, cfg.payload_bytes)))
-            .collect()
-    };
-    let app = Box::new(ScriptedApp::new(DST_NAME, schedule));
-
-    let src = if let Some((bootstrap, _)) = &bootstrap_and_keys {
-        sim.add_node(
-            "src",
-            Box::new(NeutralizedSourceNode::new(
-                SRC_ADDR,
-                bootstrap.clone(),
-                0,
-                cfg.onetime_rsa_bits,
-                flow,
-                app,
-            )),
-        )
-    } else {
-        sim.add_node(
-            "src",
-            Box::new(PlainSourceNode::new(SRC_ADDR, DST_ADDR, 0, flow, app)),
-        )
-    };
-    let isp = sim.add_node("isp", Box::new(RouterNode::new("isp")));
-    let neut_config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
-    // Route the neutralizer's dynamic QoS pool (§3.4) wherever the config
-    // puts it, rather than duplicating the literal here.
-    let dyn_pool = neut_config.dyn_pool;
-    let neut = sim.add_node(
-        "neut",
-        Box::new(NeutralizerNode::new(
-            neut_config,
-            derive_master_key(cfg.seed),
-        )),
-    );
-    let dst = if let Some((_, dest_keypair)) = bootstrap_and_keys {
-        sim.add_node(
-            "dst",
-            Box::new(NeutralizedServerNode::new(
-                DST_ADDR,
-                ANYCAST_ADDR,
-                dest_keypair,
-                cfg.echo,
-            )),
-        )
-    } else {
-        sim.add_node("dst", Box::new(PlainServerNode::new(DST_ADDR, cfg.echo)))
-    };
-
-    let mbps10 = 10_000_000;
-    sim.connect_sym(src, isp, LinkConfig::new(mbps10, Duration::from_millis(2)));
-    sim.connect_sym(
-        isp,
-        neut,
-        LinkConfig::new(mbps10, Duration::from_millis(10)),
-    );
-    sim.connect_sym(neut, dst, LinkConfig::new(mbps10, Duration::from_millis(2)));
-
-    let prefixes = vec![
-        (Ipv4Cidr::new(SRC_ADDR, 24), src),
-        (Ipv4Cidr::new(DST_ADDR, 16), dst),
-        (Ipv4Cidr::new(ANYCAST_ADDR, 24), neut),
-        (dyn_pool, neut),
-    ];
-    let tables = compute_routes(&sim.edges(), &prefixes, sim.node_count());
-    sim.node_mut::<RouterNode>(isp)
-        .expect("isp is a router")
-        .set_routes(tables[&isp].clone());
-    sim.node_mut::<NeutralizerNode>(neut)
-        .expect("neut is a neutralizer")
-        .set_routes(tables[&neut].clone());
-
-    // The discriminatory policy: content DPI + throttle (§1). The same
-    // rule is installed for both DPI scenarios; whether it can still
-    // *match* is exactly what the neutralizer changes.
-    if scenario.discriminates() {
-        let rule = Rule::new(
-            "dpi-throttle-voip",
-            MatchExpr::PayloadContains(DPI_MARKER.to_vec()),
-            Action::Throttle {
-                rate_bps: cfg.throttle_rate_bps,
-                burst_bytes: cfg.throttle_burst_bytes,
-            },
-        );
-        sim.node_mut::<RouterNode>(isp)
-            .expect("isp is a router")
-            .set_policy(PolicyEngine::new().with(rule));
-    }
-
-    // Run: schedule length plus grace for handshake and queue drain.
-    sim.run_until(SimTime::ZERO + cfg.duration + Duration::from_millis(500));
-
-    // Harvest.
-    let policy_drops = sim.stats().counter("isp.policy_drop.dpi-throttle-voip");
-    let (replies, verified_return_blocks) = if scenario.neutralized() {
-        let node = sim
-            .node_ref::<NeutralizedSourceNode>(src)
-            .expect("neutralized source");
-        (node.replies, node.verified_return_blocks)
-    } else {
-        let node = sim.node_ref::<PlainSourceNode>(src).expect("plain source");
-        (node.replies, 0)
-    };
-    let mut counters: Vec<(String, u64)> = [
-        "neutralizer.setup_served",
-        "neutralizer.data_forwarded",
-        "neutralizer.return_anonymized",
-        "neutralizer.transit",
-        "source.established",
-    ]
-    .into_iter()
-    .map(|name| (name.to_string(), sim.stats().counter(name)))
-    .filter(|(_, v)| *v > 0)
-    .collect();
-    counters.sort();
-
-    let key = FlowKey::new(flow);
-    let flows = match sim.stats().flow(&key) {
-        Some(fs) => vec![FlowReport {
-            flow: flow.to_string(),
-            tx_packets: fs.tx_packets,
-            rx_packets: fs.rx_packets,
-            delivery_ratio: fs.delivery_ratio(),
-            goodput_bps: fs.goodput_bps(),
-            mean_delay_ms: fs.mean_delay() * 1_000.0,
-            p99_delay_ms: fs.delay_percentile(99.0) * 1_000.0,
-        }],
-        None => Vec::new(),
-    };
-
+    let report = run_cell(&scenario.cell_spec(cfg), &cfg.tuning());
     ScenarioReport {
         scenario: scenario.name().to_string(),
         seed: cfg.seed,
-        flows,
-        replies,
-        verified_return_blocks,
-        policy_drops,
-        counters,
-        events: sim.events_processed(),
+        flows: report.flows,
+        replies: report.replies,
+        verified_return_blocks: report.verified_return_blocks,
+        policy_drops: report.policy_drops,
+        counters: report.counters,
+        events: report.events,
     }
 }
 
@@ -462,12 +279,6 @@ pub fn run_all(cfg: &ScenarioConfig) -> Vec<ScenarioReport> {
         .into_iter()
         .map(|s| run_scenario(s, cfg))
         .collect()
-}
-
-/// Derives 16 deterministic master-key bytes from the scenario seed.
-fn derive_master_key(seed: u64) -> [u8; 16] {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4b_u64);
-    rng.gen()
 }
 
 #[cfg(test)]
@@ -530,5 +341,49 @@ mod tests {
             assert_eq!(Scenario::from_name(s.name()), Some(s));
         }
         assert_eq!(Scenario::from_name("nope"), None);
+    }
+
+    #[test]
+    fn from_name_ignores_case_and_separator_style() {
+        assert_eq!(Scenario::from_name("Baseline"), Some(Scenario::Baseline));
+        assert_eq!(
+            Scenario::from_name("DPI_THROTTLED_PLAIN"),
+            Some(Scenario::DpiThrottledPlain)
+        );
+        assert_eq!(
+            Scenario::from_name("  dpi-Throttled_Neutralized "),
+            Some(Scenario::DpiThrottledNeutralized)
+        );
+        assert_eq!(Scenario::from_name("base_line"), None);
+    }
+
+    #[test]
+    fn dpi_marker_matches_the_voip_workload() {
+        // The exported constant must stay in lockstep with the workload
+        // the preset actually runs.
+        assert_eq!(DPI_MARKER, WorkloadSpec::voip_default().marker());
+    }
+
+    #[test]
+    fn scenario_presets_map_onto_lab_cells() {
+        let cfg = cfg();
+        let base = Scenario::Baseline.cell_spec(&cfg);
+        assert_eq!(base.adversary, AdversarySpec::None);
+        assert_eq!(base.stack, StackKind::Plain);
+        let neut = Scenario::DpiThrottledNeutralized.cell_spec(&cfg);
+        assert!(matches!(neut.adversary, AdversarySpec::ContentDpi { .. }));
+        assert_eq!(neut.stack, StackKind::Neutralized);
+        assert_eq!(neut.seed, cfg.seed);
+        assert_eq!(neut.topology, TopologySpec::chain());
+    }
+
+    #[test]
+    fn report_json_parses_and_matches_fields() {
+        let report = run_scenario(Scenario::Baseline, &cfg());
+        let text = report.to_json().render();
+        let parsed = Json::parse(&text).expect("valid JSON");
+        assert_eq!(parsed.get("scenario").unwrap().as_str(), Some("baseline"));
+        assert_eq!(parsed.get("seed").unwrap().as_u64(), Some(7));
+        assert_eq!(parsed.get("events").unwrap().as_u64(), Some(report.events));
     }
 }

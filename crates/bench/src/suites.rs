@@ -23,7 +23,7 @@ use std::time::Instant;
 /// Name, one-line description and entry point of every suite — the
 /// single source of truth the `experiments` index prints. Keep in sync
 /// with the `[[bench]]` shell targets in `Cargo.toml`.
-pub const SUITES: [(&str, &str, fn()); 9] = [
+pub const SUITES: [(&str, &str, fn()); 10] = [
     (
         "raw_crypto",
         "AES block, CMAC, CTR keystream, Ks derivation",
@@ -68,6 +68,11 @@ pub const SUITES: [(&str, &str, fn()); 9] = [
         "ablation_stateless",
         "stateless derivation vs stateful lookup",
         ablation_stateless,
+    ),
+    (
+        "matrix",
+        "nn-lab cell run and parallel matrix scaling",
+        matrix,
     ),
 ];
 
@@ -314,4 +319,54 @@ pub fn ablation_stateless() {
         i += 1;
         black_box(table.get(&(black_box(i % 1024), black_box(0x0a00_0001))));
     });
+}
+
+/// Matrix-engine costs: one plain cell, one neutralized cell (the RSA
+/// handshake dominates), and the parallel runner's scaling over a small
+/// matrix — the fan-out that makes big sweeps tractable.
+pub fn matrix() {
+    header("matrix");
+    use nn_lab::{
+        run_cell, run_matrix_with_threads, AdversarySpec, CellSpec, CellTuning, ExperimentSpec,
+        StackKind, TopologySpec, WorkloadSpec,
+    };
+    use std::time::Duration;
+
+    let tuning = CellTuning {
+        duration: Duration::from_millis(200),
+        ..CellTuning::fast()
+    };
+    let plain = CellSpec {
+        topology: TopologySpec::chain(),
+        workload: WorkloadSpec::voip_default(),
+        adversary: AdversarySpec::content_dpi_default(),
+        stack: StackKind::Plain,
+        seed: 1,
+    };
+    bench("cell_plain_dpi_200ms", iters(20), || {
+        black_box(run_cell(black_box(&plain), &tuning));
+    });
+
+    let neutralized = CellSpec {
+        stack: StackKind::Neutralized,
+        ..plain.clone()
+    };
+    bench("cell_neutralized_dpi_200ms", iters(5), || {
+        black_box(run_cell(black_box(&neutralized), &tuning));
+    });
+
+    let spec = ExperimentSpec {
+        name: "bench".to_string(),
+        topologies: vec![TopologySpec::chain(), TopologySpec::star_default()],
+        workloads: vec![WorkloadSpec::voip_default()],
+        adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
+        stacks: vec![StackKind::Plain],
+        seeds: vec![1],
+        tuning,
+    };
+    for threads in [1usize, 4] {
+        bench(&format!("matrix_8cells_{threads}thread"), iters(3), || {
+            black_box(run_matrix_with_threads(black_box(&spec), threads));
+        });
+    }
 }

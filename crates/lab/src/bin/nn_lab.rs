@@ -1,0 +1,123 @@
+//! `nn-lab` — run an experiment matrix and write its reports.
+//!
+//! ```text
+//! nn-lab [--matrix NAME] [--out FILE] [--csv FILE] [--threads N] [--list]
+//! ```
+//!
+//! With no arguments the `default` matrix (48 cells) runs on every CPU
+//! and writes `BENCH_matrix.json`. The written JSON is re-read and
+//! re-parsed before the process exits, so a zero exit status certifies a
+//! well-formed report.
+
+use nn_lab::json::Json;
+use nn_lab::matrix::{named_matrix, run_matrix_with_threads, MatrixReport, NAMED_MATRICES};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: nn-lab [--matrix NAME] [--out FILE] [--csv FILE] [--threads N] [--list]\n\
+         matrices: {}",
+        NAMED_MATRICES.join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut matrix_name = "default".to_string();
+    let mut out_path = "BENCH_matrix.json".to_string();
+    let mut csv_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let next_value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match args[i].as_str() {
+            "--matrix" => matrix_name = next_value(&mut i),
+            "--out" => out_path = next_value(&mut i),
+            "--csv" => csv_path = Some(next_value(&mut i)),
+            "--threads" => {
+                threads = Some(next_value(&mut i).parse().unwrap_or_else(|_| usage()));
+            }
+            "--list" => {
+                for name in NAMED_MATRICES {
+                    let spec = named_matrix(name).expect("table entry resolves");
+                    println!("{name:<10} {} cells", spec.cells().len());
+                }
+                return;
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let Some(spec) = named_matrix(&matrix_name) else {
+        eprintln!("unknown matrix {matrix_name:?}");
+        usage();
+    };
+    let threads = threads.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let cell_count = spec.cells().len();
+    eprintln!("running matrix {matrix_name:?}: {cell_count} cells on {threads} threads");
+
+    let report = run_matrix_with_threads(&spec, threads);
+    print_summary(&report);
+
+    let json = report.to_json();
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    if let Some(path) = &csv_path {
+        std::fs::write(path, report.to_csv()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
+    }
+
+    // Certify the artifact: re-read what was written and parse it.
+    let reread =
+        std::fs::read_to_string(&out_path).unwrap_or_else(|e| panic!("re-reading {out_path}: {e}"));
+    let parsed =
+        Json::parse(&reread).unwrap_or_else(|e| panic!("{out_path} is not valid JSON: {e}"));
+    let parsed_cells = parsed
+        .get("cells")
+        .and_then(|c| c.as_arr())
+        .map(|c| c.len())
+        .unwrap_or(0);
+    assert_eq!(
+        parsed_cells,
+        report.cells.len(),
+        "written report lost cells"
+    );
+    println!(
+        "wrote {out_path} ({} cells{}).",
+        report.cells.len(),
+        csv_path.map(|p| format!(", CSV {p}")).unwrap_or_default()
+    );
+}
+
+/// One aligned line per cell, grouped by topology/workload.
+fn print_summary(report: &MatrixReport) {
+    println!("matrix: {} ({} cells)", report.name, report.cells.len());
+    println!(
+        "  {:<14} {:<8} {:<16} {:<12} {:>6} {:>12} {:>9} {:>8}",
+        "topology", "workload", "adversary", "stack", "seed", "goodput", "vs-base", "drops"
+    );
+    for c in &report.cells {
+        let rel = c
+            .relative
+            .map(|r| format!("{:>8.1}%", r.goodput_ratio * 100.0))
+            .unwrap_or_else(|| "       -".to_string());
+        println!(
+            "  {:<14} {:<8} {:<16} {:<12} {:>6} {:>9.1} kb {} {:>8}",
+            c.topology,
+            c.workload,
+            c.adversary,
+            c.stack,
+            c.seed_axis,
+            c.report.goodput_bps() / 1e3,
+            rel,
+            c.report.policy_drops,
+        );
+    }
+}

@@ -1,0 +1,470 @@
+//! One cell of the experiment matrix: a single deterministic simulation
+//! of (topology × workload × adversary × host stack) under one seed.
+//!
+//! This is the engine the legacy `nn-apps` scenarios are thin presets
+//! over: `Scenario::Baseline` is `(chain, voip, none, plain)`,
+//! `DpiThrottledPlain` is `(chain, voip, content-dpi, plain)`, and
+//! `DpiThrottledNeutralized` swaps the stack — same seed, byte-identical
+//! report to the pre-refactor harness.
+
+use crate::adversary::AdversarySpec;
+use crate::hosts::{
+    Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
+};
+use crate::json::Json;
+use crate::topology::{BuiltTopology, TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
+use crate::workload::WorkloadSpec;
+use nn_core::app::ScriptedApp;
+use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
+use nn_dns::{rtype, DnsCache, DnsName, Lookup, NeutInfo, Record, RecordData, ZoneStore};
+use nn_netsim::{FlowKey, Node, RouterNode, SimTime, Simulator};
+use nn_packet::Ipv4Cidr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration;
+
+/// The destination's DNS name, whose `NEUT` record carries the bootstrap
+/// triple of §3.1.
+pub const DST_NAME: &str = "shop.neutral.example";
+
+/// Which host stack carries the workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackKind {
+    /// Ordinary UDP; payload and destination visible to the ISP.
+    Plain,
+    /// The paper's §3.2 neutralized pipeline.
+    Neutralized,
+}
+
+impl StackKind {
+    /// Stable axis name (report column).
+    pub fn name(self) -> &'static str {
+        match self {
+            StackKind::Plain => "plain",
+            StackKind::Neutralized => "neutralized",
+        }
+    }
+}
+
+/// One cell: the four experiment axes plus the simulator seed.
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Network shape.
+    pub topology: TopologySpec,
+    /// Traffic generator.
+    pub workload: WorkloadSpec,
+    /// Discrimination policy at the topology's discriminator.
+    pub adversary: AdversarySpec,
+    /// Host stack.
+    pub stack: StackKind,
+    /// Simulator seed; every random choice flows from it.
+    pub seed: u64,
+}
+
+/// Tuning shared by every cell of a matrix (the non-axis knobs of the
+/// legacy `ScenarioConfig`).
+#[derive(Debug, Clone)]
+pub struct CellTuning {
+    /// Length of the send schedule.
+    pub duration: Duration,
+    /// One-time RSA modulus bits for key setup (the paper uses 512).
+    pub onetime_rsa_bits: usize,
+    /// End-to-end RSA modulus bits for the destination's published key.
+    pub e2e_rsa_bits: usize,
+    /// Whether the destination echoes frames back (exercises the
+    /// anonymized return path).
+    pub echo: bool,
+}
+
+impl Default for CellTuning {
+    fn default() -> Self {
+        CellTuning {
+            duration: Duration::from_secs(2),
+            onetime_rsa_bits: 512,
+            e2e_rsa_bits: 512,
+            echo: true,
+        }
+    }
+}
+
+impl CellTuning {
+    /// Sized for fast test and matrix runs: shorter schedule and smaller
+    /// (still paper-plausible) RSA keys.
+    pub fn fast() -> Self {
+        CellTuning {
+            duration: Duration::from_millis(800),
+            onetime_rsa_bits: 320,
+            e2e_rsa_bits: 320,
+            ..CellTuning::default()
+        }
+    }
+}
+
+/// Per-flow results extracted from [`nn_netsim::stats`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellFlow {
+    /// Flow name (the workload's axis name).
+    pub flow: String,
+    /// Packets sent by the application.
+    pub tx_packets: u64,
+    /// Packets delivered to the destination app.
+    pub rx_packets: u64,
+    /// rx/tx ratio.
+    pub delivery_ratio: f64,
+    /// Application-byte goodput over the delivery window, bits/sec.
+    pub goodput_bps: f64,
+    /// Mean one-way delay, milliseconds.
+    pub mean_delay_ms: f64,
+    /// 99th-percentile one-way delay, milliseconds.
+    pub p99_delay_ms: f64,
+    /// Mean absolute delay variation, milliseconds.
+    pub jitter_ms: f64,
+}
+
+impl CellFlow {
+    /// The canonical JSON object for one flow — shared by the matrix
+    /// and scenario reports so the schema cannot drift between them.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("flow", Json::Str(self.flow.clone())),
+            ("tx_packets", Json::UInt(self.tx_packets)),
+            ("rx_packets", Json::UInt(self.rx_packets)),
+            ("delivery_ratio", Json::Num(self.delivery_ratio)),
+            ("goodput_bps", Json::Num(self.goodput_bps)),
+            ("mean_delay_ms", Json::Num(self.mean_delay_ms)),
+            ("p99_delay_ms", Json::Num(self.p99_delay_ms)),
+            ("jitter_ms", Json::Num(self.jitter_ms)),
+        ])
+    }
+}
+
+/// The canonical JSON array for named counters (`[{name, value}, …]`).
+pub fn counters_to_json(counters: &[(String, u64)]) -> Json {
+    Json::Arr(
+        counters
+            .iter()
+            .map(|(name, v)| {
+                Json::obj(vec![
+                    ("name", Json::Str(name.clone())),
+                    ("value", Json::UInt(*v)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// The outcome of one cell run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellReport {
+    /// Seed the run used.
+    pub seed: u64,
+    /// Per-flow accounting (sorted by flow name).
+    pub flows: Vec<CellFlow>,
+    /// Echo replies that made it back to the source.
+    pub replies: u64,
+    /// Anonymized return blocks that opened to the true destination
+    /// (neutralized cells only).
+    pub verified_return_blocks: u64,
+    /// Frames the adversary's drop rules discarded.
+    pub policy_drops: u64,
+    /// Selected named counters, sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Total simulator events processed.
+    pub events: u64,
+}
+
+impl CellReport {
+    /// The forward flow's goodput (the headline number).
+    pub fn goodput_bps(&self) -> f64 {
+        self.flows.first().map(|f| f.goodput_bps).unwrap_or(0.0)
+    }
+
+    /// The forward flow's mean delay in milliseconds.
+    pub fn mean_delay_ms(&self) -> f64 {
+        self.flows.first().map(|f| f.mean_delay_ms).unwrap_or(0.0)
+    }
+
+    /// The forward flow's jitter in milliseconds.
+    pub fn jitter_ms(&self) -> f64 {
+        self.flows.first().map(|f| f.jitter_ms).unwrap_or(0.0)
+    }
+}
+
+/// Resolves the destination's bootstrap triple from its DNS records,
+/// going through the TTL cache the way a real stub resolver would.
+fn resolve_bootstrap(zone: &ZoneStore, cache: &mut DnsCache, now: SimTime) -> Bootstrap {
+    let name = DnsName::new(DST_NAME).expect("valid name");
+    if cache.get(now, &name, rtype::NEUT).is_none() {
+        match zone.query(&name, rtype::NEUT) {
+            Lookup::Found(records) => cache.insert(now, name.clone(), rtype::NEUT, records),
+            other => panic!("NEUT bootstrap record missing: {other:?}"),
+        }
+    }
+    // Serve from the cache so the hit path actually runs; repeat
+    // resolutions within the TTL never touch the zone again.
+    let records = cache
+        .get(now, &name, rtype::NEUT)
+        .expect("just-inserted NEUT record is cached");
+    assert!(cache.hits >= 1, "bootstrap must come from the cache");
+    let RecordData::Neut(info) = &records[0].data else {
+        panic!("NEUT query returned non-NEUT data");
+    };
+    let (pubkey, _) =
+        nn_crypto::RsaPublicKey::from_wire(&info.pubkey_wire).expect("published key parses");
+    let dest = match zone.query(&name, rtype::A) {
+        Lookup::Found(recs) => match recs[0].data {
+            RecordData::A(addr) => addr,
+            _ => unreachable!("A query returned non-A data"),
+        },
+        other => panic!("A record missing: {other:?}"),
+    };
+    Bootstrap {
+        dest,
+        neutralizer: info.neutralizers[0],
+        dest_pubkey: pubkey,
+    }
+}
+
+/// Derives 16 deterministic master-key bytes from the cell seed.
+fn derive_master_key(seed: u64) -> [u8; 16] {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4d4b_u64);
+    rng.gen()
+}
+
+/// Runs one cell to completion and extracts its report.
+pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
+    let flow = spec.workload.name();
+    // §3.1 bootstrap — only neutralized cells mint the destination's
+    // end-to-end keypair and resolve its NEUT record; plain transports
+    // need neither, and RSA keygen is the expensive part of setup.
+    // Setup-time randomness comes from its own stream so it is
+    // independent of in-simulation draws.
+    let bootstrap_and_keys = (spec.stack == StackKind::Neutralized).then(|| {
+        let mut setup_rng = StdRng::seed_from_u64(spec.seed ^ 0x5e7u64);
+        let dest_keypair = nn_crypto::generate_keypair(&mut setup_rng, tuning.e2e_rsa_bits);
+        let mut zone = ZoneStore::new();
+        let name = DnsName::new(DST_NAME).expect("valid name");
+        zone.add(Record::new(name.clone(), 300, RecordData::A(DST_ADDR)));
+        zone.add(Record::new(
+            name,
+            300,
+            RecordData::Neut(NeutInfo {
+                neutralizers: vec![ANYCAST_ADDR],
+                pubkey_wire: dest_keypair.public.to_wire(),
+            }),
+        ));
+        let mut cache = DnsCache::new();
+        (
+            resolve_bootstrap(&zone, &mut cache, SimTime::ZERO),
+            dest_keypair,
+        )
+    });
+
+    let mut sim = Simulator::new(spec.seed);
+    let schedule = spec.workload.schedule(tuning.duration);
+    let app = Box::new(ScriptedApp::new(DST_NAME, schedule));
+
+    let src_node: Box<dyn Node> = if let Some((bootstrap, _)) = &bootstrap_and_keys {
+        Box::new(NeutralizedSourceNode::new(
+            SRC_ADDR,
+            bootstrap.clone(),
+            0,
+            tuning.onetime_rsa_bits,
+            flow,
+            app,
+        ))
+    } else {
+        Box::new(PlainSourceNode::new(SRC_ADDR, DST_ADDR, 0, flow, app))
+    };
+    let neut_config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+    // Route the neutralizer's dynamic QoS pool (§3.4) wherever the config
+    // puts it, rather than duplicating the literal here.
+    let dyn_pool = neut_config.dyn_pool;
+    let neut_node: Box<dyn Node> = Box::new(NeutralizerNode::new(
+        neut_config,
+        derive_master_key(spec.seed),
+    ));
+    let dst_node: Box<dyn Node> = if let Some((_, dest_keypair)) = bootstrap_and_keys {
+        Box::new(NeutralizedServerNode::new(
+            DST_ADDR,
+            ANYCAST_ADDR,
+            dest_keypair,
+            tuning.echo,
+        ))
+    } else {
+        Box::new(PlainServerNode::new(DST_ADDR, tuning.echo))
+    };
+
+    let built: BuiltTopology = spec
+        .topology
+        .build(&mut sim, src_node, neut_node, dst_node, dyn_pool);
+
+    // The discriminatory policy goes on the topology's designated
+    // discriminator. The same rules are installed for plain and
+    // neutralized cells; whether they can still *match* is exactly what
+    // the neutralizer changes.
+    let policy = spec.adversary.build(&spec.workload);
+    if !policy.is_empty() {
+        sim.node_mut::<RouterNode>(built.discriminator)
+            .expect("discriminator is a router")
+            .set_policy(policy);
+    }
+
+    // Run: schedule length plus grace for handshake and queue drain.
+    sim.run_until(SimTime::ZERO + tuning.duration + Duration::from_millis(500));
+
+    // Harvest.
+    let policy_drops = spec
+        .adversary
+        .drop_rule_names(&spec.workload)
+        .iter()
+        .map(|rule| {
+            sim.stats()
+                .counter(&format!("{}.policy_drop.{}", built.disc_name, rule))
+        })
+        .sum();
+    let (replies, verified_return_blocks) = if spec.stack == StackKind::Neutralized {
+        let node = sim
+            .node_ref::<NeutralizedSourceNode>(built.src)
+            .expect("neutralized source");
+        (node.replies, node.verified_return_blocks)
+    } else {
+        let node = sim
+            .node_ref::<PlainSourceNode>(built.src)
+            .expect("plain source");
+        (node.replies, 0)
+    };
+    let mut counters: Vec<(String, u64)> = [
+        "neutralizer.setup_served",
+        "neutralizer.data_forwarded",
+        "neutralizer.return_anonymized",
+        "neutralizer.transit",
+        "source.established",
+    ]
+    .into_iter()
+    .map(|name| (name.to_string(), sim.stats().counter(name)))
+    .filter(|(_, v)| *v > 0)
+    .collect();
+    counters.sort();
+
+    let key = FlowKey::new(flow);
+    let flows = match sim.stats().flow(&key) {
+        Some(fs) => vec![CellFlow {
+            flow: flow.to_string(),
+            tx_packets: fs.tx_packets,
+            rx_packets: fs.rx_packets,
+            delivery_ratio: fs.delivery_ratio(),
+            goodput_bps: fs.goodput_bps(),
+            mean_delay_ms: fs.mean_delay() * 1_000.0,
+            p99_delay_ms: fs.delay_percentile(99.0) * 1_000.0,
+            jitter_ms: fs.jitter() * 1_000.0,
+        }],
+        None => Vec::new(),
+    };
+
+    CellReport {
+        seed: spec.seed,
+        flows,
+        replies,
+        verified_return_blocks,
+        policy_drops,
+        counters,
+        events: sim.events_processed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(adversary: AdversarySpec, stack: StackKind) -> CellSpec {
+        CellSpec {
+            topology: TopologySpec::chain(),
+            workload: WorkloadSpec::voip_default(),
+            adversary,
+            stack,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn baseline_cell_delivers_nearly_everything() {
+        let report = run_cell(
+            &cell(AdversarySpec::None, StackKind::Plain),
+            &CellTuning::fast(),
+        );
+        let f = &report.flows[0];
+        assert!(f.tx_packets >= 100, "CBR schedule ran: {}", f.tx_packets);
+        assert!(f.delivery_ratio > 0.99, "neutral network delivers");
+        assert_eq!(report.policy_drops, 0);
+        assert!(report.replies > 0, "echo path works");
+    }
+
+    #[test]
+    fn dpi_collapses_plain_and_neutralization_recovers() {
+        let tuning = CellTuning::fast();
+        let baseline = run_cell(&cell(AdversarySpec::None, StackKind::Plain), &tuning);
+        let throttled = run_cell(
+            &cell(AdversarySpec::content_dpi_default(), StackKind::Plain),
+            &tuning,
+        );
+        let neutralized = run_cell(
+            &cell(AdversarySpec::content_dpi_default(), StackKind::Neutralized),
+            &tuning,
+        );
+        assert!(throttled.policy_drops > 0, "DPI matched and dropped");
+        assert!(throttled.goodput_bps() < baseline.goodput_bps() * 0.6);
+        assert_eq!(neutralized.policy_drops, 0, "nothing left to match");
+        assert!(neutralized.goodput_bps() > baseline.goodput_bps() * 0.9);
+        assert!(neutralized.verified_return_blocks > 0);
+    }
+
+    #[test]
+    fn address_drop_defeated_by_hidden_destination() {
+        let tuning = CellTuning::fast();
+        let plain = run_cell(
+            &cell(AdversarySpec::address_drop_default(), StackKind::Plain),
+            &tuning,
+        );
+        let neutralized = run_cell(
+            &cell(
+                AdversarySpec::address_drop_default(),
+                StackKind::Neutralized,
+            ),
+            &tuning,
+        );
+        // Plain: every forward packet names the destination — all dropped.
+        assert_eq!(plain.flows[0].rx_packets, 0, "censorship is total");
+        // Neutralized: the destination address never appears on the wire.
+        assert!(neutralized.flows[0].delivery_ratio > 0.9);
+        assert_eq!(neutralized.policy_drops, 0);
+    }
+
+    #[test]
+    fn same_seed_cells_are_byte_identical() {
+        let tuning = CellTuning::fast();
+        let spec = cell(AdversarySpec::content_dpi_default(), StackKind::Neutralized);
+        let a = run_cell(&spec, &tuning);
+        let b = run_cell(&spec, &tuning);
+        assert_eq!(a, b, "one seed must reproduce exactly");
+    }
+
+    #[test]
+    fn star_topology_runs_the_same_comparison() {
+        let tuning = CellTuning::fast();
+        let mk = |adversary, stack| CellSpec {
+            topology: TopologySpec::star_default(),
+            workload: WorkloadSpec::voip_default(),
+            adversary,
+            stack,
+            seed: 5,
+        };
+        let baseline = run_cell(&mk(AdversarySpec::None, StackKind::Plain), &tuning);
+        let throttled = run_cell(
+            &mk(AdversarySpec::content_dpi_default(), StackKind::Plain),
+            &tuning,
+        );
+        assert!(baseline.flows[0].delivery_ratio > 0.99);
+        assert!(throttled.goodput_bps() < baseline.goodput_bps() * 0.6);
+    }
+}

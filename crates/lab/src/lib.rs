@@ -1,0 +1,48 @@
+//! # nn-lab — declarative experiment-matrix engine
+//!
+//! The paper's evaluation is one A/B/C comparison; the lab generalizes
+//! it into a declarative matrix of (topology × workload × adversary ×
+//! host stack × seed) cells run in parallel across OS threads:
+//!
+//! * [`topology`] — chain (the legacy shape), dumbbell, eyeball-ISP
+//!   star, and multi-AS path generators with the discriminator at a
+//!   configurable hop, built on [`nn_netsim::Simulator::connect`].
+//! * [`workload`] — VoIP (the legacy victim), bulk transfer, web-style
+//!   request/response and constant-rate streaming, each a deterministic
+//!   schedule pluggable into either host stack.
+//! * [`adversary`] — named [`nn_netsim::PolicyEngine`] presets: content
+//!   DPI throttling, port blocking, address-based drops, delay/jitter
+//!   injection and tiered prioritization.
+//! * [`hosts`] — the plain and neutralized (§3.2) endpoint stacks every
+//!   workload runs over.
+//! * [`cell`] — one deterministic simulation of one axis combination.
+//! * [`matrix`] — spec expansion, hashed per-cell seeds, the
+//!   multi-threaded runner, and JSON/CSV reports.
+//! * [`json`] — minimal hand-rolled JSON (the workspace builds offline).
+//!
+//! The `nn-lab` binary runs a named matrix and writes
+//! `BENCH_matrix.json`; the legacy `nn-apps` scenarios are thin presets
+//! over [`cell::run_cell`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod cell;
+pub mod hosts;
+pub mod json;
+pub mod matrix;
+pub mod topology;
+pub mod workload;
+
+pub use adversary::AdversarySpec;
+pub use cell::{run_cell, CellFlow, CellReport, CellSpec, CellTuning, StackKind};
+pub use hosts::{
+    Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
+};
+pub use matrix::{
+    named_matrix, run_matrix, run_matrix_with_threads, ExperimentSpec, MatrixCell, MatrixReport,
+    RelativeMetrics, NAMED_MATRICES,
+};
+pub use topology::{TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
+pub use workload::WorkloadSpec;

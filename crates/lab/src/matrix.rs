@@ -1,0 +1,579 @@
+//! The experiment-matrix engine.
+//!
+//! An [`ExperimentSpec`] names the axes — topologies × workloads ×
+//! adversaries × host stacks × seeds — and expands into the full cross
+//! product of [`crate::cell::CellSpec`]s. Every cell gets a
+//! deterministic simulator seed (an FNV-1a hash of the spec identity and
+//! the cell index — no wall clock anywhere), so the same spec reproduces
+//! byte-identical reports on any machine.
+//!
+//! Cells are independent simulations, so the runner fans them out across
+//! OS threads ([`std::thread::scope`] over a shared work queue) and
+//! reassembles results in cell order. [`MatrixReport`] adds
+//! baseline-relative goodput/delay/jitter per cell — the baseline being
+//! the `(adversary = none, stack = plain)` cell of the same topology,
+//! workload and seed — and serializes to JSON and CSV by hand (the
+//! workspace builds offline).
+
+use crate::adversary::AdversarySpec;
+use crate::cell::{run_cell, CellFlow, CellReport, CellSpec, CellTuning, StackKind};
+use crate::json::Json;
+use crate::topology::TopologySpec;
+use crate::workload::WorkloadSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The declarative description of a whole experiment matrix.
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Matrix name (report header, part of every cell's seed hash).
+    pub name: String,
+    /// Topology axis.
+    pub topologies: Vec<TopologySpec>,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Adversary axis.
+    pub adversaries: Vec<AdversarySpec>,
+    /// Host-stack axis.
+    pub stacks: Vec<StackKind>,
+    /// Replication axis: one full cross product per entry.
+    pub seeds: Vec<u64>,
+    /// Shared non-axis knobs.
+    pub tuning: CellTuning,
+}
+
+/// One expanded cell with its axis coordinates.
+#[derive(Debug, Clone)]
+pub struct MatrixCellSpec {
+    /// Position in expansion order (also the seed-hash input).
+    pub index: usize,
+    /// The seed-axis value this cell replicates.
+    pub seed_axis: u64,
+    /// The runnable cell (its `seed` is the hashed simulator seed).
+    pub cell: CellSpec,
+}
+
+impl ExperimentSpec {
+    /// Expands the axes into the full cross product, topology-major.
+    pub fn cells(&self) -> Vec<MatrixCellSpec> {
+        let mut out = Vec::new();
+        for topology in &self.topologies {
+            for workload in &self.workloads {
+                for adversary in &self.adversaries {
+                    for &stack in &self.stacks {
+                        for &seed_axis in &self.seeds {
+                            let index = out.len();
+                            let sim_seed = self
+                                .cell_seed(index, topology, workload, adversary, stack, seed_axis);
+                            out.push(MatrixCellSpec {
+                                index,
+                                seed_axis,
+                                cell: CellSpec {
+                                    topology: topology.clone(),
+                                    workload: workload.clone(),
+                                    adversary: adversary.clone(),
+                                    stack,
+                                    seed: sim_seed,
+                                },
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The deterministic simulator seed for one cell: FNV-1a over the
+    /// spec name, every axis name, the seed-axis value and the cell
+    /// index. No wall-clock input, so a spec reproduces exactly.
+    fn cell_seed(
+        &self,
+        index: usize,
+        topology: &TopologySpec,
+        workload: &WorkloadSpec,
+        adversary: &AdversarySpec,
+        stack: StackKind,
+        seed_axis: u64,
+    ) -> u64 {
+        let mut h = Fnv1a::new();
+        h.write(self.name.as_bytes());
+        h.write(topology.name().as_bytes());
+        h.write(workload.name().as_bytes());
+        h.write(adversary.name().as_bytes());
+        h.write(stack.name().as_bytes());
+        h.write(&seed_axis.to_be_bytes());
+        h.write(&(index as u64).to_be_bytes());
+        h.finish()
+    }
+}
+
+/// FNV-1a, 64-bit.
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// A finished cell: coordinates, outcome, and baseline-relative metrics.
+#[derive(Debug, Clone)]
+pub struct MatrixCell {
+    /// Position in expansion order.
+    pub index: usize,
+    /// Topology axis name.
+    pub topology: String,
+    /// Workload axis name.
+    pub workload: String,
+    /// Adversary axis name.
+    pub adversary: String,
+    /// Stack axis name.
+    pub stack: String,
+    /// Seed-axis value.
+    pub seed_axis: u64,
+    /// Hashed simulator seed actually used.
+    pub sim_seed: u64,
+    /// The simulation outcome.
+    pub report: CellReport,
+    /// Metrics relative to the matching baseline cell, when the matrix
+    /// contains one.
+    pub relative: Option<RelativeMetrics>,
+}
+
+/// A cell's headline metrics divided by its baseline cell's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelativeMetrics {
+    /// Goodput ÷ baseline goodput (1.0 = unharmed, 0 = dead).
+    pub goodput_ratio: f64,
+    /// Mean delay ÷ baseline mean delay.
+    pub mean_delay_ratio: f64,
+    /// Jitter ÷ baseline jitter.
+    pub jitter_ratio: f64,
+}
+
+/// The aggregated outcome of a matrix run.
+#[derive(Debug, Clone)]
+pub struct MatrixReport {
+    /// Spec name.
+    pub name: String,
+    /// Every cell, in expansion order.
+    pub cells: Vec<MatrixCell>,
+}
+
+/// Runs the matrix with one worker thread per available CPU (capped at
+/// the cell count).
+pub fn run_matrix(spec: &ExperimentSpec) -> MatrixReport {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    run_matrix_with_threads(spec, threads)
+}
+
+/// Runs the matrix on exactly `threads` workers. Results are identical
+/// for any thread count: cells are independent simulations keyed only by
+/// their hashed seeds, and the report is assembled in expansion order.
+pub fn run_matrix_with_threads(spec: &ExperimentSpec, threads: usize) -> MatrixReport {
+    let cells = spec.cells();
+    let threads = threads.clamp(1, cells.len().max(1));
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; cells.len()]);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(mc) = cells.get(i) else { break };
+                let report = run_cell(&mc.cell, &spec.tuning);
+                results.lock().expect("runner mutex")[i] = Some(report);
+            });
+        }
+    });
+
+    let reports = results.into_inner().expect("runner mutex");
+    let mut out: Vec<MatrixCell> = cells
+        .iter()
+        .zip(reports)
+        .map(|(mc, report)| MatrixCell {
+            index: mc.index,
+            topology: mc.cell.topology.name(),
+            workload: mc.cell.workload.name().to_string(),
+            adversary: mc.cell.adversary.name().to_string(),
+            stack: mc.cell.stack.name().to_string(),
+            seed_axis: mc.seed_axis,
+            sim_seed: mc.cell.seed,
+            report: report.expect("every cell ran"),
+            relative: None,
+        })
+        .collect();
+
+    // Baseline-relative metrics: the (none, plain) cell of the same
+    // (topology, workload, seed-axis) group, when the matrix has one.
+    // Grouping compares the actual axis *specs* (not their display
+    // names, which may drop parameters — two dumbbells with different
+    // bottlenecks must not share a baseline).
+    let baselines: Vec<(usize, f64, f64, f64)> = cells
+        .iter()
+        .filter(|mc| mc.cell.adversary == AdversarySpec::None && mc.cell.stack == StackKind::Plain)
+        .map(|mc| {
+            let c = &out[mc.index];
+            (
+                mc.index,
+                c.report.goodput_bps(),
+                c.report.mean_delay_ms(),
+                c.report.jitter_ms(),
+            )
+        })
+        .collect();
+    for mc in &cells {
+        let base = baselines.iter().find(|&&(bi, ..)| {
+            let b = &cells[bi].cell;
+            b.topology == mc.cell.topology
+                && b.workload == mc.cell.workload
+                && cells[bi].seed_axis == mc.seed_axis
+        });
+        if let Some(&(_, goodput, delay, jitter)) = base {
+            if goodput > 0.0 {
+                let cell = &mut out[mc.index];
+                let ratio = |v: f64, b: f64| if b > 0.0 { v / b } else { 0.0 };
+                cell.relative = Some(RelativeMetrics {
+                    goodput_ratio: cell.report.goodput_bps() / goodput,
+                    mean_delay_ratio: ratio(cell.report.mean_delay_ms(), delay),
+                    jitter_ratio: ratio(cell.report.jitter_ms(), jitter),
+                });
+            }
+        }
+    }
+
+    MatrixReport {
+        name: spec.name.clone(),
+        cells: out,
+    }
+}
+
+impl MatrixReport {
+    /// Renders the full report as JSON.
+    pub fn to_json(&self) -> String {
+        let cells: Vec<Json> = self
+            .cells
+            .iter()
+            .map(|c| {
+                let flows: Vec<Json> = c.report.flows.iter().map(CellFlow::to_json).collect();
+                let counters = crate::cell::counters_to_json(&c.report.counters);
+                let relative = match &c.relative {
+                    Some(r) => Json::obj(vec![
+                        ("goodput_ratio", Json::Num(r.goodput_ratio)),
+                        ("mean_delay_ratio", Json::Num(r.mean_delay_ratio)),
+                        ("jitter_ratio", Json::Num(r.jitter_ratio)),
+                    ]),
+                    None => Json::Null,
+                };
+                Json::obj(vec![
+                    ("index", Json::UInt(c.index as u64)),
+                    ("topology", Json::Str(c.topology.clone())),
+                    ("workload", Json::Str(c.workload.clone())),
+                    ("adversary", Json::Str(c.adversary.clone())),
+                    ("stack", Json::Str(c.stack.clone())),
+                    ("seed_axis", Json::UInt(c.seed_axis)),
+                    ("sim_seed", Json::UInt(c.sim_seed)),
+                    ("flows", Json::Arr(flows)),
+                    ("replies", Json::UInt(c.report.replies)),
+                    (
+                        "verified_return_blocks",
+                        Json::UInt(c.report.verified_return_blocks),
+                    ),
+                    ("policy_drops", Json::UInt(c.report.policy_drops)),
+                    ("counters", counters),
+                    ("events", Json::UInt(c.report.events)),
+                    ("relative", relative),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("matrix", Json::Str(self.name.clone())),
+            ("cell_count", Json::UInt(self.cells.len() as u64)),
+            ("cells", Json::Arr(cells)),
+        ])
+        .render()
+    }
+
+    /// Renders one CSV row per cell (first flow's metrics; relative
+    /// columns empty when the cell has no baseline).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "index,topology,workload,adversary,stack,seed_axis,sim_seed,flow,tx_packets,\
+             rx_packets,delivery_ratio,goodput_bps,mean_delay_ms,p99_delay_ms,jitter_ms,\
+             replies,verified_return_blocks,policy_drops,events,goodput_ratio,\
+             mean_delay_ratio,jitter_ratio\n",
+        );
+        for c in &self.cells {
+            let (flow, tx, rx, delivery, goodput, mean_d, p99, jitter) =
+                match c.report.flows.first() {
+                    Some(f) => (
+                        f.flow.as_str(),
+                        f.tx_packets,
+                        f.rx_packets,
+                        f.delivery_ratio,
+                        f.goodput_bps,
+                        f.mean_delay_ms,
+                        f.p99_delay_ms,
+                        f.jitter_ms,
+                    ),
+                    None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0),
+                };
+            let rel = match &c.relative {
+                Some(r) => format!(
+                    "{},{},{}",
+                    r.goodput_ratio, r.mean_delay_ratio, r.jitter_ratio
+                ),
+                None => ",,".to_string(),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                c.index,
+                c.topology,
+                c.workload,
+                c.adversary,
+                c.stack,
+                c.seed_axis,
+                c.sim_seed,
+                flow,
+                tx,
+                rx,
+                delivery,
+                goodput,
+                mean_d,
+                p99,
+                jitter,
+                c.report.replies,
+                c.report.verified_return_blocks,
+                c.report.policy_drops,
+                c.report.events,
+                rel,
+            ));
+        }
+        out
+    }
+}
+
+/// Named matrices the `nn-lab` binary can run.
+pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
+    let spec = match name {
+        // The CI smoke matrix: 2 topologies × 2 adversaries × 2 seeds.
+        "smoke" => ExperimentSpec {
+            name: "smoke".to_string(),
+            topologies: vec![TopologySpec::chain(), TopologySpec::star_default()],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
+            stacks: vec![StackKind::Plain],
+            seeds: vec![1, 2],
+            tuning: CellTuning::fast(),
+        },
+        // The headline matrix: every combination the paper's claim needs,
+        // 48 cells.
+        "default" => ExperimentSpec {
+            name: "default".to_string(),
+            topologies: vec![TopologySpec::chain(), TopologySpec::dumbbell_default()],
+            workloads: vec![
+                WorkloadSpec::voip_default(),
+                WorkloadSpec::bulk_default(),
+                WorkloadSpec::web_default(),
+            ],
+            adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
+            stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            seeds: vec![1, 2],
+            tuning: CellTuning::fast(),
+        },
+        // Everything: 4 topologies × 4 workloads × 6 adversaries ×
+        // 2 stacks × 2 seeds = 384 cells.
+        "full" => ExperimentSpec {
+            name: "full".to_string(),
+            topologies: vec![
+                TopologySpec::chain(),
+                TopologySpec::dumbbell_default(),
+                TopologySpec::star_default(),
+                TopologySpec::multi_as_default(),
+            ],
+            workloads: vec![
+                WorkloadSpec::voip_default(),
+                WorkloadSpec::bulk_default(),
+                WorkloadSpec::web_default(),
+                WorkloadSpec::stream_default(),
+            ],
+            adversaries: vec![
+                AdversarySpec::None,
+                AdversarySpec::content_dpi_default(),
+                AdversarySpec::PortBlock,
+                AdversarySpec::address_drop_default(),
+                AdversarySpec::delay_jitter_default(),
+                AdversarySpec::tiered_default(),
+            ],
+            stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            seeds: vec![1, 2],
+            tuning: CellTuning::fast(),
+        },
+        _ => return None,
+    };
+    Some(spec)
+}
+
+/// Names [`named_matrix`] accepts, in documentation order.
+pub const NAMED_MATRICES: [&str; 3] = ["smoke", "default", "full"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+    use std::time::Duration;
+
+    /// A 4-cell matrix small enough for debug-build tests.
+    fn tiny_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "tiny".to_string(),
+            topologies: vec![TopologySpec::chain()],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
+            stacks: vec![StackKind::Plain],
+            seeds: vec![1, 2],
+            tuning: CellTuning {
+                duration: Duration::from_millis(200),
+                ..CellTuning::fast()
+            },
+        }
+    }
+
+    #[test]
+    fn expansion_is_the_full_cross_product() {
+        let spec = named_matrix("default").unwrap();
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 2 * 3 * 2 * 2 * 2);
+        assert!(cells.len() >= 24, "acceptance floor");
+        // Indexes are positional and seeds all distinct (hash mixing).
+        let seeds: std::collections::HashSet<u64> = cells.iter().map(|c| c.cell.seed).collect();
+        assert_eq!(seeds.len(), cells.len(), "per-cell seeds collide");
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+    }
+
+    #[test]
+    fn cell_seeds_are_stable_across_expansions() {
+        let a = tiny_spec().cells();
+        let b = tiny_spec().cells();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cell.seed, y.cell.seed);
+        }
+    }
+
+    #[test]
+    fn parallel_run_is_deterministic_and_thread_count_invariant() {
+        let spec = tiny_spec();
+        let one = run_matrix_with_threads(&spec, 1);
+        let four = run_matrix_with_threads(&spec, 4);
+        assert_eq!(one.to_json(), four.to_json());
+        assert_eq!(one.to_csv(), four.to_csv());
+    }
+
+    #[test]
+    fn baseline_relative_metrics_show_the_throttle() {
+        let report = run_matrix_with_threads(&tiny_spec(), 2);
+        assert_eq!(report.cells.len(), 4);
+        for c in &report.cells {
+            let rel = c.relative.expect("baseline exists in this matrix");
+            if c.adversary == "none" {
+                assert!((rel.goodput_ratio - 1.0).abs() < 1e-9, "self-relative");
+            } else {
+                assert!(
+                    rel.goodput_ratio < 0.6,
+                    "DPI throttle must show up relative to baseline: {}",
+                    rel.goodput_ratio
+                );
+            }
+        }
+    }
+
+    /// Two same-kind topologies with different parameters must keep
+    /// separate baselines — grouping is by spec, not display name.
+    #[test]
+    fn parameterized_axes_do_not_share_baselines() {
+        let spec = ExperimentSpec {
+            name: "dumbbells".to_string(),
+            topologies: vec![
+                TopologySpec::Dumbbell {
+                    bottleneck_bps: 5_000_000,
+                },
+                TopologySpec::Dumbbell {
+                    bottleneck_bps: 300_000,
+                },
+            ],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![AdversarySpec::None],
+            stacks: vec![StackKind::Plain],
+            seeds: vec![1],
+            tuning: CellTuning {
+                duration: Duration::from_millis(200),
+                ..CellTuning::fast()
+            },
+        };
+        let report = run_matrix_with_threads(&spec, 2);
+        assert_eq!(report.cells.len(), 2);
+        // The 300 kbit/s bottleneck delays the same CBR flow more than
+        // the 5 Mbit/s one, so the two baselines genuinely differ...
+        assert!(report.cells[1].report.mean_delay_ms() > report.cells[0].report.mean_delay_ms());
+        // ...and each cell is its own baseline (ratio exactly 1), which
+        // name-based grouping would get wrong for the second dumbbell.
+        for c in &report.cells {
+            let rel = c.relative.expect("self-baseline");
+            assert!((rel.goodput_ratio - 1.0).abs() < 1e-9, "{}", c.topology);
+            assert!((rel.mean_delay_ratio - 1.0).abs() < 1e-9, "{}", c.topology);
+        }
+        // Labels are distinguishable too.
+        assert_ne!(report.cells[0].topology, report.cells[1].topology);
+    }
+
+    #[test]
+    fn json_report_parses_and_carries_the_cells() {
+        let report = run_matrix_with_threads(&tiny_spec(), 2);
+        let parsed = Json::parse(&report.to_json()).expect("valid JSON");
+        assert_eq!(parsed.get("matrix").unwrap().as_str(), Some("tiny"));
+        let cells = parsed.get("cells").unwrap().as_arr().unwrap();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(
+            parsed.get("cell_count").unwrap().as_u64(),
+            Some(cells.len() as u64)
+        );
+        for c in cells {
+            assert!(c.get("sim_seed").unwrap().as_u64().is_some());
+            assert!(!c.get("flows").unwrap().as_arr().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn csv_has_one_row_per_cell_plus_header() {
+        let report = run_matrix_with_threads(&tiny_spec(), 2);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 1 + report.cells.len());
+        let header_cols = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines().skip(1) {
+            assert_eq!(line.split(',').count(), header_cols);
+        }
+    }
+
+    #[test]
+    fn named_matrices_all_resolve() {
+        for name in NAMED_MATRICES {
+            let spec = named_matrix(name).unwrap();
+            assert!(!spec.cells().is_empty(), "{name} expands");
+        }
+        assert!(named_matrix("nope").is_none());
+    }
+}

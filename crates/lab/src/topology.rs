@@ -1,0 +1,453 @@
+//! Topology generators — one axis of the experiment matrix.
+//!
+//! Every generator wires the same four logical endpoints — a source
+//! outside the neutral domain, a discriminating ISP router, the
+//! neutralizer at the neutral ISP's border, and the destination customer
+//! — into a different network shape, built on
+//! [`nn_netsim::Simulator::connect`]:
+//!
+//! * [`TopologySpec::Chain`] — the legacy PR-1 path, generalized to any
+//!   hop count with the discriminator at a configurable hop.
+//! * [`TopologySpec::Dumbbell`] — two access routers joined by a
+//!   bottleneck link, the classic congestion topology.
+//! * [`TopologySpec::Star`] — an eyeball-ISP hub with customer spokes;
+//!   the hub itself discriminates.
+//! * [`TopologySpec::MultiAs`] — a multi-AS path (ingress/egress router
+//!   pairs per AS) with the discriminator at a configurable AS egress.
+//!
+//! Route tables come from [`nn_netsim::compute_routes`] over the built
+//! graph, so anycast neutralizer addressing works identically in every
+//! shape.
+
+use nn_core::neutralizer::NeutralizerNode;
+use nn_netsim::{compute_routes, LinkConfig, Node, NodeId, RouterNode, Simulator};
+use nn_packet::{Ipv4Addr, Ipv4Cidr};
+use std::time::Duration;
+
+/// The source host's address (outside the neutral domain).
+pub const SRC_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
+/// The destination customer's address (inside the neutral domain).
+pub const DST_ADDR: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 99);
+/// The neutralizer anycast service address.
+pub const ANYCAST_ADDR: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+
+/// Bandwidth of every non-bottleneck link (10 Mbit/s, the legacy value).
+const LINK_BPS: u64 = 10_000_000;
+
+fn edge_link() -> LinkConfig {
+    LinkConfig::new(LINK_BPS, Duration::from_millis(2))
+}
+
+fn backbone_link() -> LinkConfig {
+    LinkConfig::new(LINK_BPS, Duration::from_millis(10))
+}
+
+/// One point on the topology axis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologySpec {
+    /// `src — isp0 — … — isp(h-1) — neut — dst`. `hops = 1, disc_hop =
+    /// 0` reproduces the legacy scenario topology byte-for-byte.
+    Chain {
+        /// Number of ISP routers between source and neutralizer (≥ 1).
+        hops: usize,
+        /// Which hop discriminates (0-based, `< hops`).
+        disc_hop: usize,
+    },
+    /// Two access routers joined by a bottleneck:
+    /// `src — isp =bottleneck= core — neut — dst`, with one stub
+    /// customer hanging off each access router. The near-side access
+    /// router discriminates.
+    Dumbbell {
+        /// Bottleneck bandwidth in bits/sec.
+        bottleneck_bps: u64,
+    },
+    /// An eyeball-ISP hub: the source and `spokes - 2` stub customers
+    /// attach directly to the hub, the neutral domain hangs off it. The
+    /// hub discriminates.
+    Star {
+        /// Total spokes including the source and the neutral-domain
+        /// branch (≥ 2).
+        spokes: usize,
+    },
+    /// A path of autonomous systems, each an ingress/egress router pair
+    /// with fast intra-AS and slow inter-AS links. The egress of
+    /// `disc_as` discriminates.
+    MultiAs {
+        /// Number of ASes on the path (≥ 1).
+        as_count: usize,
+        /// Which AS discriminates (0-based, `< as_count`).
+        disc_as: usize,
+    },
+}
+
+/// What a generator built: endpoint ids, the discriminator, and the
+/// advertised prefixes (for assertions and reports).
+#[derive(Debug, Clone)]
+pub struct BuiltTopology {
+    /// The source host.
+    pub src: NodeId,
+    /// The neutralizer.
+    pub neut: NodeId,
+    /// The destination host.
+    pub dst: NodeId,
+    /// The router carrying the adversary's policy engine.
+    pub discriminator: NodeId,
+    /// The discriminator's statistics prefix (its node name).
+    pub disc_name: String,
+    /// Every router added (including the discriminator).
+    pub routers: Vec<NodeId>,
+    /// Every prefix advertised into routing, with its owner.
+    pub advertised: Vec<(Ipv4Cidr, NodeId)>,
+}
+
+impl TopologySpec {
+    /// The legacy single-ISP chain.
+    pub fn chain() -> Self {
+        TopologySpec::Chain {
+            hops: 1,
+            disc_hop: 0,
+        }
+    }
+
+    /// A dumbbell with a 5 Mbit/s bottleneck.
+    pub fn dumbbell_default() -> Self {
+        TopologySpec::Dumbbell {
+            bottleneck_bps: 5_000_000,
+        }
+    }
+
+    /// A five-spoke eyeball-ISP star.
+    pub fn star_default() -> Self {
+        TopologySpec::Star { spokes: 5 }
+    }
+
+    /// A three-AS path discriminating in the middle AS.
+    pub fn multi_as_default() -> Self {
+        TopologySpec::MultiAs {
+            as_count: 3,
+            disc_as: 1,
+        }
+    }
+
+    /// Stable axis name encoding the shape parameters.
+    pub fn name(&self) -> String {
+        match *self {
+            TopologySpec::Chain {
+                hops: 1,
+                disc_hop: 0,
+            } => "chain".to_string(),
+            TopologySpec::Chain { hops, disc_hop } => format!("chain{hops}-d{disc_hop}"),
+            // The bottleneck is part of the identity: two dumbbells
+            // with different bottlenecks must not share a report label.
+            TopologySpec::Dumbbell { bottleneck_bps } => {
+                format!("dumbbell-{}k", bottleneck_bps / 1000)
+            }
+            TopologySpec::Star { spokes } => format!("star{spokes}"),
+            TopologySpec::MultiAs { as_count, disc_as } => {
+                format!("multi-as{as_count}-d{disc_as}")
+            }
+        }
+    }
+
+    /// Builds the topology into `sim`: adds the endpoints and routers,
+    /// connects links, computes and installs route tables. `neut_node`
+    /// must be a [`NeutralizerNode`] (it receives the neutral domain's
+    /// routes); `dyn_pool` is its dynamic QoS pool prefix, advertised
+    /// alongside the anycast address.
+    pub fn build(
+        &self,
+        sim: &mut Simulator,
+        src_node: Box<dyn Node>,
+        neut_node: Box<dyn Node>,
+        dst_node: Box<dyn Node>,
+        dyn_pool: Ipv4Cidr,
+    ) -> BuiltTopology {
+        match *self {
+            TopologySpec::Chain { hops, disc_hop } => {
+                assert!(hops >= 1, "chain needs at least one ISP hop");
+                assert!(disc_hop < hops, "disc_hop out of range");
+                let src = sim.add_node("src", src_node);
+                let routers: Vec<NodeId> = (0..hops)
+                    .map(|i| {
+                        let name = if hops == 1 {
+                            "isp".to_string()
+                        } else {
+                            format!("isp{i}")
+                        };
+                        sim.add_node(name.clone(), Box::new(RouterNode::new(name)))
+                    })
+                    .collect();
+                let neut = sim.add_node("neut", neut_node);
+                let dst = sim.add_node("dst", dst_node);
+
+                sim.connect_sym(src, routers[0], edge_link());
+                for w in routers.windows(2) {
+                    sim.connect_sym(w[0], w[1], backbone_link());
+                }
+                sim.connect_sym(*routers.last().unwrap(), neut, backbone_link());
+                sim.connect_sym(neut, dst, edge_link());
+
+                let advertised = base_prefixes(src, dst, neut, dyn_pool);
+                install_routes(sim, &routers, neut, &advertised);
+                BuiltTopology {
+                    src,
+                    neut,
+                    dst,
+                    discriminator: routers[disc_hop],
+                    disc_name: sim.node_name(routers[disc_hop]).to_string(),
+                    routers,
+                    advertised,
+                }
+            }
+            TopologySpec::Dumbbell { bottleneck_bps } => {
+                let src = sim.add_node("src", src_node);
+                let isp = sim.add_node("isp", Box::new(RouterNode::new("isp")));
+                let core = sim.add_node("core", Box::new(RouterNode::new("core")));
+                let neut = sim.add_node("neut", neut_node);
+                let dst = sim.add_node("dst", dst_node);
+                let leaf_l = sim.add_node("leaf-l", Box::new(nn_netsim::SinkNode::new()));
+                let leaf_r = sim.add_node("leaf-r", Box::new(nn_netsim::SinkNode::new()));
+
+                sim.connect_sym(src, isp, edge_link());
+                sim.connect_sym(
+                    isp,
+                    core,
+                    LinkConfig::new(bottleneck_bps, Duration::from_millis(10)),
+                );
+                sim.connect_sym(core, neut, edge_link());
+                sim.connect_sym(neut, dst, edge_link());
+                sim.connect_sym(isp, leaf_l, edge_link());
+                sim.connect_sym(core, leaf_r, edge_link());
+
+                let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
+                advertised.push((stub_prefix(1), leaf_l));
+                advertised.push((stub_prefix(2), leaf_r));
+                let routers = vec![isp, core];
+                install_routes(sim, &routers, neut, &advertised);
+                BuiltTopology {
+                    src,
+                    neut,
+                    dst,
+                    discriminator: isp,
+                    disc_name: "isp".to_string(),
+                    routers,
+                    advertised,
+                }
+            }
+            TopologySpec::Star { spokes } => {
+                assert!(spokes >= 2, "star needs the source and neutral spokes");
+                // Stub customers get distinct 10.200.i.0/24 prefixes;
+                // one u8 octet bounds how many fit.
+                assert!(spokes <= 250, "star supports at most 250 spokes");
+                let src = sim.add_node("src", src_node);
+                let hub = sim.add_node("hub", Box::new(RouterNode::new("hub")));
+                let neut = sim.add_node("neut", neut_node);
+                let dst = sim.add_node("dst", dst_node);
+                sim.connect_sym(src, hub, edge_link());
+                sim.connect_sym(hub, neut, backbone_link());
+                sim.connect_sym(neut, dst, edge_link());
+
+                let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
+                for i in 0..spokes.saturating_sub(2) {
+                    let leaf =
+                        sim.add_node(format!("leaf{i}"), Box::new(nn_netsim::SinkNode::new()));
+                    sim.connect_sym(hub, leaf, edge_link());
+                    advertised.push((stub_prefix(i as u8 + 1), leaf));
+                }
+                let routers = vec![hub];
+                install_routes(sim, &routers, neut, &advertised);
+                BuiltTopology {
+                    src,
+                    neut,
+                    dst,
+                    discriminator: hub,
+                    disc_name: "hub".to_string(),
+                    routers,
+                    advertised,
+                }
+            }
+            TopologySpec::MultiAs { as_count, disc_as } => {
+                assert!(as_count >= 1, "need at least one AS");
+                assert!(disc_as < as_count, "disc_as out of range");
+                let src = sim.add_node("src", src_node);
+                let mut routers = Vec::with_capacity(as_count * 2);
+                for i in 0..as_count {
+                    for role in ["in", "eg"] {
+                        let name = format!("as{i}-{role}");
+                        routers.push(sim.add_node(name.clone(), Box::new(RouterNode::new(name))));
+                    }
+                }
+                let neut = sim.add_node("neut", neut_node);
+                let dst = sim.add_node("dst", dst_node);
+
+                sim.connect_sym(src, routers[0], edge_link());
+                for i in 0..as_count {
+                    // Intra-AS: ingress to egress, fast.
+                    sim.connect_sym(
+                        routers[2 * i],
+                        routers[2 * i + 1],
+                        LinkConfig::new(LINK_BPS, Duration::from_millis(1)),
+                    );
+                    // Inter-AS: egress to next ingress, slow.
+                    if i + 1 < as_count {
+                        sim.connect_sym(routers[2 * i + 1], routers[2 * i + 2], backbone_link());
+                    }
+                }
+                sim.connect_sym(*routers.last().unwrap(), neut, backbone_link());
+                sim.connect_sym(neut, dst, edge_link());
+
+                let advertised = base_prefixes(src, dst, neut, dyn_pool);
+                install_routes(sim, &routers, neut, &advertised);
+                let discriminator = routers[2 * disc_as + 1];
+                BuiltTopology {
+                    src,
+                    neut,
+                    dst,
+                    discriminator,
+                    disc_name: sim.node_name(discriminator).to_string(),
+                    routers,
+                    advertised,
+                }
+            }
+        }
+    }
+}
+
+/// The prefixes every topology advertises, in the legacy order.
+fn base_prefixes(
+    src: NodeId,
+    dst: NodeId,
+    neut: NodeId,
+    dyn_pool: Ipv4Cidr,
+) -> Vec<(Ipv4Cidr, NodeId)> {
+    vec![
+        (Ipv4Cidr::new(SRC_ADDR, 24), src),
+        (Ipv4Cidr::new(DST_ADDR, 16), dst),
+        (Ipv4Cidr::new(ANYCAST_ADDR, 24), neut),
+        (dyn_pool, neut),
+    ]
+}
+
+/// A /24 for the i-th stub customer.
+fn stub_prefix(i: u8) -> Ipv4Cidr {
+    Ipv4Cidr::new(Ipv4Addr::new(10, 200, i, 0), 24)
+}
+
+/// Computes shortest-path tables over the built graph and installs them
+/// on every router and on the neutralizer.
+fn install_routes(
+    sim: &mut Simulator,
+    routers: &[NodeId],
+    neut: NodeId,
+    advertised: &[(Ipv4Cidr, NodeId)],
+) {
+    let tables = compute_routes(&sim.edges(), advertised, sim.node_count());
+    for &r in routers {
+        if let Some(table) = tables.get(&r) {
+            sim.node_mut::<RouterNode>(r)
+                .expect("router node")
+                .set_routes(table.clone());
+        }
+    }
+    if let Some(table) = tables.get(&neut) {
+        sim.node_mut::<NeutralizerNode>(neut)
+            .expect("neutralizer node")
+            .set_routes(table.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nn_core::neutralizer::NeutralizerConfig;
+    use nn_netsim::SinkNode;
+
+    /// Builds `spec` with sink endpoints and a real neutralizer.
+    pub(crate) fn build_for_test(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
+        let mut sim = Simulator::new(1);
+        let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+        let dyn_pool = config.dyn_pool;
+        let neut = Box::new(NeutralizerNode::new(config, [7u8; 16]));
+        let built = spec.build(
+            &mut sim,
+            Box::new(SinkNode::new()),
+            neut,
+            Box::new(SinkNode::new()),
+            dyn_pool,
+        );
+        (sim, built)
+    }
+
+    #[test]
+    fn chain_matches_legacy_layout() {
+        let (sim, built) = build_for_test(&TopologySpec::chain());
+        assert_eq!(sim.node_count(), 4);
+        assert_eq!(sim.node_name(built.src), "src");
+        assert_eq!(sim.node_name(built.discriminator), "isp");
+        assert_eq!(sim.node_name(built.neut), "neut");
+        assert_eq!(sim.node_name(built.dst), "dst");
+        assert_eq!(built.disc_name, "isp");
+        // Three bidirectional links = six directed edges.
+        assert_eq!(sim.edges().len(), 6);
+    }
+
+    #[test]
+    fn every_generator_routes_src_to_dst_and_anycast() {
+        for spec in [
+            TopologySpec::chain(),
+            TopologySpec::Chain {
+                hops: 3,
+                disc_hop: 2,
+            },
+            TopologySpec::dumbbell_default(),
+            TopologySpec::star_default(),
+            TopologySpec::multi_as_default(),
+        ] {
+            let (sim, built) = build_for_test(&spec);
+            for &r in &built.routers {
+                let router = sim.node_ref::<RouterNode>(r).expect("router");
+                for addr in [SRC_ADDR, DST_ADDR, ANYCAST_ADDR] {
+                    assert!(
+                        router.routes().lookup(addr).is_some(),
+                        "{}: router {} has no route to {addr}",
+                        spec.name(),
+                        sim.node_name(r)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn names_encode_parameters() {
+        assert_eq!(TopologySpec::chain().name(), "chain");
+        assert_eq!(
+            TopologySpec::Chain {
+                hops: 4,
+                disc_hop: 2
+            }
+            .name(),
+            "chain4-d2"
+        );
+        assert_eq!(TopologySpec::star_default().name(), "star5");
+        assert_eq!(TopologySpec::multi_as_default().name(), "multi-as3-d1");
+        assert_eq!(TopologySpec::dumbbell_default().name(), "dumbbell-5000k");
+        assert_ne!(
+            TopologySpec::Dumbbell {
+                bottleneck_bps: 1_000_000
+            }
+            .name(),
+            TopologySpec::dumbbell_default().name(),
+            "different bottlenecks must not share a label"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "disc_hop out of range")]
+    fn chain_rejects_out_of_range_discriminator() {
+        build_for_test(&TopologySpec::Chain {
+            hops: 2,
+            disc_hop: 2,
+        });
+    }
+}

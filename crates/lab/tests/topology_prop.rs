@@ -1,0 +1,125 @@
+//! Property tests for the topology generators: every shape the axis can
+//! produce must be a connected graph whose route tables resolve every
+//! advertised host from every router — otherwise a matrix cell would
+//! silently measure a black hole instead of a policy.
+
+use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
+use nn_lab::topology::{BuiltTopology, TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
+use nn_netsim::{RouterNode, Simulator, SinkNode};
+use nn_packet::Ipv4Cidr;
+use proptest::prelude::*;
+
+/// Builds `spec` with sink endpoints and a real neutralizer.
+fn build(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
+    let mut sim = Simulator::new(1);
+    let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+    let dyn_pool = config.dyn_pool;
+    let neut = Box::new(NeutralizerNode::new(config, [7u8; 16]));
+    let built = spec.build(
+        &mut sim,
+        Box::new(SinkNode::new()),
+        neut,
+        Box::new(SinkNode::new()),
+        dyn_pool,
+    );
+    (sim, built)
+}
+
+/// Undirected reachability over the built link graph.
+fn connected(sim: &Simulator) -> bool {
+    let n = sim.node_count();
+    if n == 0 {
+        return true;
+    }
+    let mut adj = vec![Vec::new(); n];
+    for (from, _iface, to, _lat) in sim.edges() {
+        adj[from].push(to);
+        adj[to].push(from);
+    }
+    let mut seen = vec![false; n];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    while let Some(u) = stack.pop() {
+        for &v in &adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                stack.push(v);
+            }
+        }
+    }
+    seen.into_iter().all(|s| s)
+}
+
+/// Checks the generator invariants for one spec.
+fn check(spec: &TopologySpec) -> Result<(), TestCaseError> {
+    let (sim, built) = build(spec);
+    prop_assert!(connected(&sim), "{} is not connected", spec.name());
+    prop_assert!(
+        built.routers.contains(&built.discriminator),
+        "{}: discriminator must be a router",
+        spec.name()
+    );
+    // Every router resolves every advertised prefix — in particular the
+    // source, the destination and the neutralizer anycast — so any
+    // host pair the matrix wires up has a forwarding path.
+    for &r in &built.routers {
+        let router = sim.node_ref::<RouterNode>(r).expect("router node");
+        prop_assert!(
+            !router.routes().is_empty(),
+            "{}: router {} has an empty table",
+            spec.name(),
+            sim.node_name(r)
+        );
+        for (prefix, owner) in &built.advertised {
+            if *owner == r {
+                continue;
+            }
+            prop_assert!(
+                router.routes().lookup(prefix.addr).is_some(),
+                "{}: router {} cannot resolve {}",
+                spec.name(),
+                sim.node_name(r),
+                prefix
+            );
+        }
+        for addr in [SRC_ADDR, DST_ADDR, ANYCAST_ADDR] {
+            prop_assert!(
+                router.routes().lookup(addr).is_some(),
+                "{}: router {} cannot resolve {addr}",
+                spec.name(),
+                sim.node_name(r)
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn chains_of_any_length_are_connected_and_routed(
+        hops in 1usize..6,
+        disc_seed in any::<u64>(),
+    ) {
+        let disc_hop = (disc_seed % hops as u64) as usize;
+        check(&TopologySpec::Chain { hops, disc_hop })?;
+    }
+
+    #[test]
+    fn stars_of_any_width_are_connected_and_routed(spokes in 2usize..8) {
+        check(&TopologySpec::Star { spokes })?;
+    }
+
+    #[test]
+    fn multi_as_paths_are_connected_and_routed(
+        as_count in 1usize..5,
+        disc_seed in any::<u64>(),
+    ) {
+        let disc_as = (disc_seed % as_count as u64) as usize;
+        check(&TopologySpec::MultiAs { as_count, disc_as })?;
+    }
+
+    #[test]
+    fn dumbbells_are_connected_and_routed(bps in 500_000u64..20_000_000) {
+        check(&TopologySpec::Dumbbell { bottleneck_bps: bps })?;
+    }
+}

@@ -135,6 +135,16 @@ pub enum Action {
         /// Extra one-way delay.
         extra: Duration,
     },
+    /// Add a uniformly random delay in `[min, max]` before forwarding —
+    /// deliberate jitter injection, the degradation that hurts
+    /// isochronous traffic (VoIP) most. The randomness comes from the
+    /// simulation RNG draw, so runs stay deterministic under a seed.
+    Jitter {
+        /// Smallest injected delay.
+        min: Duration,
+        /// Largest injected delay.
+        max: Duration,
+    },
     /// Police to a rate; non-conforming packets drop.
     Throttle {
         /// Policing rate, bits/second.
@@ -237,6 +247,10 @@ impl PolicyEngine {
                     }
                 }
                 Action::Delay { extra } => Verdict::Delay(*extra),
+                Action::Jitter { min, max } => {
+                    let span = max.saturating_sub(*min);
+                    Verdict::Delay(*min + span.mul_f64(draw.clamp(0.0, 1.0)))
+                }
                 Action::Throttle { .. } => {
                     let bucket = self.buckets[i].as_mut().expect("throttle has bucket");
                     if bucket.conforms(now_ns, frame.len()) {
@@ -415,6 +429,31 @@ mod tests {
         assert!(matches!(pe.evaluate(0, &f, 0.0), Verdict::Drop(_)));
         // One second later the bucket has refilled 1000 bytes (cap 200).
         assert_eq!(pe.evaluate(1_000_000_000, &f, 0.0), Verdict::Forward);
+    }
+
+    #[test]
+    fn jitter_spreads_delay_over_the_draw() {
+        let mut pe = PolicyEngine::new().with(Rule::new(
+            "jitter",
+            MatchExpr::True,
+            Action::Jitter {
+                min: Duration::from_millis(10),
+                max: Duration::from_millis(50),
+            },
+        ));
+        let f = udp_frame(b"x");
+        assert_eq!(
+            pe.evaluate(0, &f, 0.0),
+            Verdict::Delay(Duration::from_millis(10))
+        );
+        assert_eq!(
+            pe.evaluate(0, &f, 1.0),
+            Verdict::Delay(Duration::from_millis(50))
+        );
+        assert_eq!(
+            pe.evaluate(0, &f, 0.5),
+            Verdict::Delay(Duration::from_millis(30))
+        );
     }
 
     #[test]

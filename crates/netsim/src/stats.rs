@@ -5,6 +5,7 @@
 //! accounting. Nodes write through [`crate::sim::Context::stats`].
 
 use crate::time::SimTime;
+use std::cell::RefCell;
 use std::collections::HashMap;
 
 /// Identifies an application flow for accounting.
@@ -29,15 +30,27 @@ pub struct FlowStats {
     pub tx_packets: u64,
     /// Bytes sent.
     pub tx_bytes: u64,
-    /// One-way delays of delivered packets, in seconds.
-    pub delays: Vec<f64>,
+    /// One-way delays of delivered packets, in seconds. Private so the
+    /// append-only invariant the percentile cache relies on is enforced
+    /// by the module boundary: only [`Stats::flow_rx`] writes here.
+    delays: Vec<f64>,
     /// Time of first delivery.
     pub first_rx: Option<SimTime>,
     /// Time of last delivery.
     pub last_rx: Option<SimTime>,
+    /// Lazily sorted copy of `delays` for percentile queries. Delays are
+    /// append-only, so a length mismatch is the (re)build signal — one
+    /// sort per batch of arrivals instead of one per percentile call.
+    sorted_delays: RefCell<Vec<f64>>,
 }
 
 impl FlowStats {
+    /// One-way delays of delivered packets, in seconds, in arrival
+    /// order (read-only; deliveries append via [`Stats::flow_rx`]).
+    pub fn delays(&self) -> &[f64] {
+        &self.delays
+    }
+
     /// Delivery ratio in [0, 1]; 1.0 when nothing was sent.
     pub fn delivery_ratio(&self) -> f64 {
         if self.tx_packets == 0 {
@@ -56,13 +69,19 @@ impl FlowStats {
         }
     }
 
-    /// Delay percentile (p in [0,100]); 0 when empty.
+    /// Delay percentile (p in [0,100]); 0 when empty. `p = 0` is the
+    /// minimum, `p = 100` the maximum, and intermediate values use
+    /// nearest-rank interpolation over the sorted samples.
     pub fn delay_percentile(&self, p: f64) -> f64 {
         if self.delays.is_empty() {
             return 0.0;
         }
-        let mut sorted = self.delays.clone();
-        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut sorted = self.sorted_delays.borrow_mut();
+        if sorted.len() != self.delays.len() {
+            sorted.clear();
+            sorted.extend_from_slice(&self.delays);
+            sorted.sort_by(|a, b| a.total_cmp(b));
+        }
         let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
         sorted[idx.min(sorted.len() - 1)]
     }
@@ -228,6 +247,47 @@ mod tests {
         assert!(f.delay_percentile(50.0) >= 0.020 && f.delay_percentile(50.0) <= 0.040);
         // |0.01|+|0.01|+|0.01|+|0.06| / 4 = 0.0225
         assert!((f.jitter() - 0.0225).abs() < 1e-12);
+    }
+
+    /// Pins percentile semantics at the boundaries: p=0 is the minimum,
+    /// p=100 the maximum (never out of bounds), and a single sample
+    /// answers every percentile.
+    #[test]
+    fn percentile_boundary_semantics() {
+        let f = FlowStats {
+            delays: vec![0.050, 0.010, 0.030], // deliberately unsorted
+            ..FlowStats::default()
+        };
+        assert_eq!(f.delay_percentile(0.0), 0.010);
+        assert_eq!(f.delay_percentile(100.0), 0.050);
+        // Out-of-range p never panics; it clamps to the extremes.
+        assert_eq!(f.delay_percentile(1000.0), 0.050);
+
+        let single = FlowStats {
+            delays: vec![0.42],
+            ..FlowStats::default()
+        };
+        for p in [0.0, 37.0, 50.0, 99.0, 100.0] {
+            assert_eq!(single.delay_percentile(p), 0.42);
+        }
+    }
+
+    /// The sorted cache must track appends: new deliveries after a
+    /// percentile query invalidate it (the length changes), so later
+    /// queries see the new samples.
+    #[test]
+    fn percentile_cache_tracks_new_deliveries() {
+        let mut s = Stats::new();
+        let k = FlowKey::new("f");
+        s.flow_rx(&k, 10, SimTime::ZERO, SimTime::from_millis(10));
+        assert_eq!(s.flow(&k).unwrap().delay_percentile(100.0), 0.010);
+        s.flow_rx(&k, 10, SimTime::ZERO, SimTime::from_millis(90));
+        let f = s.flow(&k).unwrap();
+        assert_eq!(f.delay_percentile(100.0), 0.090);
+        assert_eq!(f.delay_percentile(0.0), 0.010);
+        // Repeated queries on an unchanged flow reuse the cache and stay
+        // consistent.
+        assert_eq!(f.delay_percentile(100.0), 0.090);
     }
 
     #[test]

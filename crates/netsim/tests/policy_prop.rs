@@ -1,0 +1,211 @@
+//! Property tests for the discrimination classifier.
+//!
+//! [`MatchExpr::matches`] runs on every frame the adversary's router
+//! forwards, including corrupted and hostile ones, so it must be total:
+//! no arbitrary byte string may panic it. The combinators must also obey
+//! their boolean algebra — `Not` is complement, `All`/`Any` are
+//! conjunction/disjunction with the usual identities — because adversary
+//! presets compose them freely.
+
+use nn_netsim::MatchExpr;
+use nn_packet::{build_shim, build_udp, Ipv4Addr, Ipv4Cidr, ShimRepr, ShimType};
+use proptest::prelude::*;
+
+/// SplitMix64: expands one drawn u64 into the stream of choices an
+/// expression tree needs (the proptest shim generates scalars, not
+/// recursive enums).
+struct Mix(u64);
+
+impl Mix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next() % bound
+    }
+
+    fn addr(&mut self) -> Ipv4Addr {
+        let v = self.next();
+        Ipv4Addr::new(v as u8, (v >> 8) as u8, (v >> 16) as u8, (v >> 24) as u8)
+    }
+}
+
+/// Builds an arbitrary expression tree, every variant reachable,
+/// combinators only above depth 0.
+fn arb_expr(mix: &mut Mix, depth: usize) -> MatchExpr {
+    let leaf_only = depth == 0;
+    let choice = if leaf_only {
+        4 + mix.below(9)
+    } else {
+        mix.below(13)
+    };
+    match choice {
+        0 => MatchExpr::All(
+            (0..mix.below(4))
+                .map(|_| arb_expr(mix, depth - 1))
+                .collect(),
+        ),
+        1 => MatchExpr::Any(
+            (0..mix.below(4))
+                .map(|_| arb_expr(mix, depth - 1))
+                .collect(),
+        ),
+        2 => MatchExpr::Not(Box::new(arb_expr(mix, depth - 1))),
+        3 => MatchExpr::True,
+        4 => MatchExpr::DstPrefix(Ipv4Cidr::new(mix.addr(), (mix.below(33)) as u8)),
+        5 => MatchExpr::SrcPrefix(Ipv4Cidr::new(mix.addr(), (mix.below(33)) as u8)),
+        6 => MatchExpr::Protocol(mix.next() as u8),
+        7 => MatchExpr::DstPort(mix.next() as u16),
+        8 => MatchExpr::SrcPort(mix.next() as u16),
+        9 => {
+            let len = mix.below(12) as usize;
+            MatchExpr::PayloadContains((0..len).map(|_| mix.next() as u8).collect())
+        }
+        10 => MatchExpr::LooksEncrypted {
+            min_len: mix.below(256) as usize,
+        },
+        11 => {
+            if mix.below(2) == 0 {
+                MatchExpr::IsShim
+            } else {
+                MatchExpr::IsKeySetup
+            }
+        }
+        _ => {
+            if mix.below(2) == 0 {
+                MatchExpr::DscpAtLeast(mix.next() as u8)
+            } else {
+                MatchExpr::LenAtMost(mix.below(4096) as usize)
+            }
+        }
+    }
+}
+
+/// A frame that actually parses: UDP or shim, arbitrary payload.
+fn valid_frame(mix: &mut Mix, payload: &[u8]) -> Vec<u8> {
+    let src = mix.addr();
+    let dst = mix.addr();
+    let dscp = (mix.next() as u8) & 0x3f;
+    if mix.below(2) == 0 {
+        build_udp(
+            src,
+            dst,
+            dscp,
+            mix.next() as u16,
+            mix.next() as u16,
+            payload,
+        )
+        .unwrap_or_default()
+    } else {
+        let shim = ShimRepr {
+            shim_type: if mix.below(2) == 0 {
+                ShimType::Data
+            } else {
+                ShimType::KeySetup
+            },
+            flags: 0,
+            nonce: mix.next(),
+            addr_block: [mix.next() as u8; 16],
+            stamp: None,
+        };
+        build_shim(src, dst, dscp, &shim, payload).unwrap_or_default()
+    }
+}
+
+proptest! {
+    /// Totality: arbitrary byte strings — truncated headers, garbage
+    /// lengths, non-IP — never panic any classifier.
+    #[test]
+    fn arbitrary_frames_never_panic(
+        frame in collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+    ) {
+        let mut mix = Mix(seed);
+        for _ in 0..8 {
+            let expr = arb_expr(&mut mix, 3);
+            let _ = expr.matches(&frame);
+        }
+    }
+
+    /// Totality on well-formed frames with arbitrary payloads (the DPI
+    /// and entropy matchers walk the payload bytes).
+    #[test]
+    fn valid_frames_never_panic(
+        payload in collection::vec(any::<u8>(), 0..512),
+        seed in any::<u64>(),
+    ) {
+        let mut mix = Mix(seed);
+        let frame = valid_frame(&mut mix, &payload);
+        for _ in 0..8 {
+            let expr = arb_expr(&mut mix, 3);
+            let _ = expr.matches(&frame);
+        }
+    }
+
+    /// `Not` is boolean complement, and double negation cancels.
+    #[test]
+    fn not_is_complement(
+        frame in collection::vec(any::<u8>(), 0..128),
+        seed in any::<u64>(),
+    ) {
+        let mut mix = Mix(seed);
+        let e = arb_expr(&mut mix, 2);
+        let plain = e.matches(&frame);
+        prop_assert_eq!(MatchExpr::Not(Box::new(e.clone())).matches(&frame), !plain);
+        prop_assert_eq!(
+            MatchExpr::Not(Box::new(MatchExpr::Not(Box::new(e)))).matches(&frame),
+            plain
+        );
+    }
+
+    /// `All` is conjunction, `Any` disjunction, with the standard empty
+    /// identities (empty `All` = true, empty `Any` = false).
+    #[test]
+    fn all_any_are_conjunction_disjunction(
+        frame in collection::vec(any::<u8>(), 0..128),
+        seed in any::<u64>(),
+    ) {
+        let mut mix = Mix(seed);
+        let a = arb_expr(&mut mix, 2);
+        let b = arb_expr(&mut mix, 2);
+        let (ra, rb) = (a.matches(&frame), b.matches(&frame));
+        prop_assert_eq!(
+            MatchExpr::All(vec![a.clone(), b.clone()]).matches(&frame),
+            ra && rb
+        );
+        prop_assert_eq!(
+            MatchExpr::Any(vec![a.clone(), b.clone()]).matches(&frame),
+            ra || rb
+        );
+        prop_assert!(MatchExpr::All(vec![]).matches(&frame));
+        prop_assert!(!MatchExpr::Any(vec![]).matches(&frame));
+        // De Morgan: ¬(a ∧ b) = ¬a ∨ ¬b.
+        prop_assert_eq!(
+            MatchExpr::Not(Box::new(MatchExpr::All(vec![a.clone(), b.clone()])))
+                .matches(&frame),
+            MatchExpr::Any(vec![
+                MatchExpr::Not(Box::new(a)),
+                MatchExpr::Not(Box::new(b)),
+            ])
+            .matches(&frame)
+        );
+    }
+
+    /// Classification is a pure function of the frame: evaluating twice
+    /// agrees (no hidden state in the matcher, unlike the policy
+    /// engine's token buckets).
+    #[test]
+    fn matching_is_pure(
+        frame in collection::vec(any::<u8>(), 0..128),
+        seed in any::<u64>(),
+    ) {
+        let mut mix = Mix(seed);
+        let e = arb_expr(&mut mix, 3);
+        prop_assert_eq!(e.matches(&frame), e.matches(&frame));
+    }
+}

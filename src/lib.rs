@@ -14,8 +14,11 @@
 //!   simulator and the discriminatory-ISP policy engine.
 //! * [`core`] ([`nn_core`]) — the stateless neutralizer, pushback,
 //!   QoS addressing and multihoming.
-//! * [`apps`] ([`nn_apps`]) — host stacks and end-to-end discrimination
-//!   scenarios (see the `nn-scenarios` binary).
+//! * [`lab`] ([`nn_lab`]) — the experiment-matrix engine: host stacks,
+//!   topology generators, workload and adversary libraries, and the
+//!   parallel matrix runner (see the `nn-lab` binary).
+//! * [`apps`] ([`nn_apps`]) — the paper's three discrimination
+//!   scenarios as presets over the lab (see the `nn-scenarios` binary).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,5 +27,6 @@ pub use nn_apps as apps;
 pub use nn_core as core;
 pub use nn_crypto as crypto;
 pub use nn_dns as dns;
+pub use nn_lab as lab;
 pub use nn_netsim as netsim;
 pub use nn_packet as packet;
