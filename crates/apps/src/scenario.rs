@@ -28,7 +28,8 @@
 
 use nn_lab::json::Json;
 use nn_lab::{
-    run_cell, AdversarySpec, CellSpec, CellTuning, StackKind, TopologySpec, WorkloadSpec,
+    run_cell, AdversarySpec, CellSpec, CellTuning, LinkProfileSpec, StackKind, TopologySpec,
+    WorkloadSpec,
 };
 use std::fmt;
 use std::time::Duration;
@@ -152,6 +153,9 @@ impl Scenario {
     pub fn cell_spec(self, cfg: &ScenarioConfig) -> CellSpec {
         CellSpec {
             topology: TopologySpec::chain(),
+            // The legacy scenarios ran on clean wires; the matrix's
+            // `link` axis is where impaired variants live.
+            link: LinkProfileSpec::Clean,
             workload: WorkloadSpec::Voip {
                 packet_interval: cfg.packet_interval,
                 payload_bytes: cfg.payload_bytes,
@@ -370,6 +374,7 @@ mod tests {
         let base = Scenario::Baseline.cell_spec(&cfg);
         assert_eq!(base.adversary, AdversarySpec::None);
         assert_eq!(base.stack, StackKind::Plain);
+        assert_eq!(base.link, LinkProfileSpec::Clean);
         let neut = Scenario::DpiThrottledNeutralized.cell_spec(&cfg);
         assert!(matches!(neut.adversary, AdversarySpec::ContentDpi { .. }));
         assert_eq!(neut.stack, StackKind::Neutralized);

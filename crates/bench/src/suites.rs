@@ -23,7 +23,7 @@ use std::time::Instant;
 /// Name, one-line description and entry point of every suite — the
 /// single source of truth the `experiments` index prints. Keep in sync
 /// with the `[[bench]]` shell targets in `Cargo.toml`.
-pub const SUITES: [(&str, &str, fn()); 10] = [
+pub const SUITES: [(&str, &str, fn()); 11] = [
     (
         "raw_crypto",
         "AES block, CMAC, CTR keystream, Ks derivation",
@@ -73,6 +73,11 @@ pub const SUITES: [(&str, &str, fn()); 10] = [
         "matrix",
         "nn-lab cell run and parallel matrix scaling",
         matrix,
+    ),
+    (
+        "link_pipeline",
+        "netsim link-impairment pipeline per-frame cost",
+        link_pipeline,
     ),
 ];
 
@@ -328,7 +333,7 @@ pub fn matrix() {
     header("matrix");
     use nn_lab::{
         run_cell, run_matrix_with_threads, AdversarySpec, CellSpec, CellTuning, ExperimentSpec,
-        StackKind, TopologySpec, WorkloadSpec,
+        LinkProfileSpec, StackKind, TopologySpec, WorkloadSpec,
     };
     use std::time::Duration;
 
@@ -338,6 +343,7 @@ pub fn matrix() {
     };
     let plain = CellSpec {
         topology: TopologySpec::chain(),
+        link: LinkProfileSpec::Clean,
         workload: WorkloadSpec::voip_default(),
         adversary: AdversarySpec::content_dpi_default(),
         stack: StackKind::Plain,
@@ -358,6 +364,7 @@ pub fn matrix() {
     let spec = ExperimentSpec {
         name: "bench".to_string(),
         topologies: vec![TopologySpec::chain(), TopologySpec::star_default()],
+        links: vec![LinkProfileSpec::Clean],
         workloads: vec![WorkloadSpec::voip_default()],
         adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
         stacks: vec![StackKind::Plain],
@@ -367,6 +374,81 @@ pub fn matrix() {
     for threads in [1usize, 4] {
         bench(&format!("matrix_8cells_{threads}thread"), iters(3), || {
             black_box(run_matrix_with_threads(black_box(&spec), threads));
+        });
+    }
+}
+
+/// The link-pipeline hot path: one simulated link draining 1000
+/// back-to-back frames, timed with 0, 1 and 3 impairment stages plus
+/// the legacy `FaultConfig` lowering — so the redesign's per-frame
+/// overhead against the old flat fault injection stays visible.
+/// Divide the reported ns/iter by 1000 for the per-frame cost.
+pub fn link_pipeline() {
+    header("link_pipeline");
+    use nn_netsim::{
+        Context, FaultConfig, IfaceId, LinkProfile, LossModel, Node, SimTime, Simulator, SinkNode,
+        StageSpec,
+    };
+    use std::time::Duration;
+
+    const FRAMES: u64 = 1000;
+
+    /// Sends `FRAMES` small frames back-to-back at start.
+    struct Blast;
+    impl Node for Blast {
+        fn on_start(&mut self, ctx: &mut Context) {
+            for seq in 0..FRAMES {
+                ctx.send(0, seq.to_be_bytes().to_vec());
+            }
+        }
+        fn on_packet(&mut self, _: &mut Context, _: IfaceId, _: Vec<u8>) {}
+    }
+
+    let run = |profile: &LinkProfile| {
+        let mut sim = Simulator::new(1);
+        let tx = sim.add_node("tx", Box::new(Blast));
+        let rx = sim.add_node("rx", Box::new(SinkNode::new()));
+        sim.connect(
+            tx,
+            rx,
+            profile.clone(),
+            LinkProfile::new(1_000_000_000, Duration::from_micros(1)),
+        );
+        sim.run_until(SimTime::from_secs(60));
+        sim.events_processed()
+    };
+
+    let base = || LinkProfile::new(1_000_000_000, Duration::from_micros(10));
+    let ge = LossModel::GilbertElliott {
+        p_enter_bad: 0.02,
+        p_exit_bad: 0.25,
+        loss_good: 0.0,
+        loss_bad: 0.5,
+    };
+    let cases = [
+        ("pipeline_0stages_1kframes", base()),
+        ("pipeline_1stage_1kframes", base().with_loss(ge)),
+        (
+            "pipeline_3stages_1kframes",
+            base()
+                .with_loss(ge)
+                .with_stage(StageSpec::Corrupt { prob: 0.02 })
+                .with_stage(StageSpec::Reorder {
+                    prob: 0.05,
+                    max_extra: Duration::from_micros(50),
+                }),
+        ),
+        (
+            "pipeline_legacy_fault_1kframes",
+            base().with_fault(FaultConfig {
+                drop_prob: 0.02,
+                corrupt_prob: 0.02,
+            }),
+        ),
+    ];
+    for (name, profile) in &cases {
+        bench(name, iters(50), || {
+            black_box(run(black_box(profile)));
         });
     }
 }

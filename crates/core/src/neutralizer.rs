@@ -24,6 +24,16 @@ use nn_packet::{
 };
 use rand::Rng;
 
+/// Copies the ECN codepoint from a transiting frame onto its rewritten
+/// replacement. The §3.4 DSCP guarantee extends to the whole ToS byte:
+/// a congestion mark (CE) written by an AQM upstream of the neutralizer
+/// must survive the rewrite, or the box would silently break ECN
+/// end-to-end (RFC 3168 forbids middleboxes clearing CE).
+fn preserve_ecn(incoming_ecn: u8, mut rebuilt: Vec<u8>) -> Vec<u8> {
+    Ipv4Packet::new_unchecked(&mut rebuilt[..]).set_ecn(incoming_ecn);
+    rebuilt
+}
+
 /// Timer token for the pushback window tick.
 const TOKEN_PUSHBACK_TICK: u64 = 0xFB;
 /// Timer token for master-key rotation.
@@ -340,7 +350,9 @@ impl NeutralizerNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp,
         };
-        // DSCP is preserved (§3.4): tiered service still works.
+        // DSCP is preserved (§3.4): tiered service still works. So is
+        // the ECN codepoint — upstream CE marks reach the destination.
+        let ecn_in = Ipv4Packet::new_checked(frame).map(|p| p.ecn()).unwrap_or(0);
         if let Ok(out) = build_shim(
             parsed.ip.src,
             real_dst,
@@ -349,7 +361,7 @@ impl NeutralizerNode {
             parsed.payload,
         ) {
             self.stat(ctx, "data_forwarded");
-            self.route_out(ctx, out);
+            self.route_out(ctx, preserve_ecn(ecn_in, out));
         }
     }
 
@@ -391,6 +403,9 @@ impl NeutralizerNode {
             addr_block: sealed,
             stamp: None,
         };
+        // DSCP and ECN survive the anonymizing rewrite, like the
+        // forward path.
+        let ecn_in = Ipv4Packet::new_checked(frame).map(|p| p.ecn()).unwrap_or(0);
         if let Ok(out) = build_shim(
             visible_src,
             initiator,
@@ -399,7 +414,7 @@ impl NeutralizerNode {
             parsed.payload,
         ) {
             self.stat(ctx, "return_anonymized");
-            self.route_out(ctx, out);
+            self.route_out(ctx, preserve_ecn(ecn_in, out));
         }
     }
 

@@ -12,6 +12,7 @@ use crate::hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
 };
 use crate::json::Json;
+use crate::link::LinkProfileSpec;
 use crate::topology::{BuiltTopology, TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
 use crate::workload::WorkloadSpec;
 use nn_core::app::ScriptedApp;
@@ -46,11 +47,13 @@ impl StackKind {
     }
 }
 
-/// One cell: the four experiment axes plus the simulator seed.
+/// One cell: the five experiment axes plus the simulator seed.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     /// Network shape.
     pub topology: TopologySpec,
+    /// Bottleneck impairment profile.
+    pub link: LinkProfileSpec,
     /// Traffic generator.
     pub workload: WorkloadSpec,
     /// Discrimination policy at the topology's discriminator.
@@ -119,6 +122,8 @@ pub struct CellFlow {
     pub p99_delay_ms: f64,
     /// Mean absolute delay variation, milliseconds.
     pub jitter_ms: f64,
+    /// Delivered packets that arrived ECN CE-marked.
+    pub ce_marks: u64,
 }
 
 impl CellFlow {
@@ -134,6 +139,7 @@ impl CellFlow {
             ("mean_delay_ms", Json::Num(self.mean_delay_ms)),
             ("p99_delay_ms", Json::Num(self.p99_delay_ms)),
             ("jitter_ms", Json::Num(self.jitter_ms)),
+            ("ce_marks", Json::UInt(self.ce_marks)),
         ])
     }
 }
@@ -295,9 +301,9 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
         Box::new(PlainServerNode::new(DST_ADDR, tuning.echo))
     };
 
-    let built: BuiltTopology = spec
-        .topology
-        .build(&mut sim, src_node, neut_node, dst_node, dyn_pool);
+    let built: BuiltTopology = spec.topology.build(
+        &mut sim, src_node, neut_node, dst_node, dyn_pool, &spec.link,
+    );
 
     // The discriminatory policy goes on the topology's designated
     // discriminator. The same rules are installed for plain and
@@ -345,6 +351,22 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
     .map(|name| (name.to_string(), sim.stats().counter(name)))
     .filter(|(_, v)| *v > 0)
     .collect();
+    // The bottleneck direction's per-stage pipeline outcomes, so the
+    // link axis is observable in every report.
+    let bneck = sim.link_counters(built.bottleneck.0, built.bottleneck.1);
+    for (name, v) in [
+        ("bottleneck.tx_frames", bneck.tx_frames),
+        ("bottleneck.queue_drops", bneck.queue_drops),
+        ("bottleneck.ce_marks", bneck.ce_marks),
+        ("bottleneck.loss_drops", bneck.fault_drops),
+        ("bottleneck.burst_episodes", bneck.burst_episodes),
+        ("bottleneck.reordered", bneck.reordered),
+        ("bottleneck.corrupted", bneck.corrupted),
+    ] {
+        if v > 0 {
+            counters.push((name.to_string(), v));
+        }
+    }
     counters.sort();
 
     let key = FlowKey::new(flow);
@@ -358,6 +380,7 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
             mean_delay_ms: fs.mean_delay() * 1_000.0,
             p99_delay_ms: fs.delay_percentile(99.0) * 1_000.0,
             jitter_ms: fs.jitter() * 1_000.0,
+            ce_marks: fs.ce_marks,
         }],
         None => Vec::new(),
     };
@@ -380,6 +403,7 @@ mod tests {
     fn cell(adversary: AdversarySpec, stack: StackKind) -> CellSpec {
         CellSpec {
             topology: TopologySpec::chain(),
+            link: LinkProfileSpec::Clean,
             workload: WorkloadSpec::voip_default(),
             adversary,
             stack,
@@ -449,11 +473,66 @@ mod tests {
         assert_eq!(a, b, "one seed must reproduce exactly");
     }
 
+    /// The link axis is live end-to-end: a bursty bottleneck degrades
+    /// delivery below the clean wire and its stage counters surface in
+    /// the report; an ECN-RED bottleneck under cross-traffic CE-marks
+    /// frames the destination actually observes.
+    #[test]
+    fn link_axis_degrades_and_is_observable() {
+        let tuning = CellTuning::fast();
+        let mk = |link| CellSpec {
+            link,
+            ..cell(AdversarySpec::None, StackKind::Plain)
+        };
+        let clean = run_cell(&mk(LinkProfileSpec::Clean), &tuning);
+        let lossy = run_cell(
+            &mk(LinkProfileSpec::LossyBurst {
+                p_enter_bad: 0.05,
+                p_exit_bad: 0.15,
+                loss_bad: 0.9,
+            }),
+            &tuning,
+        );
+        assert!(clean.flows[0].delivery_ratio > 0.99);
+        assert!(
+            lossy.flows[0].delivery_ratio < 0.95,
+            "burst loss must bite: {}",
+            lossy.flows[0].delivery_ratio
+        );
+        let get = |r: &CellReport, name: &str| {
+            r.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        assert!(get(&lossy, "bottleneck.loss_drops") > 0);
+        assert!(get(&lossy, "bottleneck.burst_episodes") > 0);
+        assert_eq!(get(&clean, "bottleneck.loss_drops"), 0);
+
+        let ecn = CellSpec {
+            topology: TopologySpec::dumbbell_crossed(),
+            link: LinkProfileSpec::ecn_red_default(),
+            ..cell(AdversarySpec::None, StackKind::Plain)
+        };
+        let report = run_cell(&ecn, &tuning);
+        assert!(
+            get(&report, "bottleneck.ce_marks") > 0,
+            "congested RED must mark: {:?}",
+            report.counters
+        );
+        assert!(
+            report.flows[0].ce_marks > 0,
+            "the destination sees CE-marked deliveries"
+        );
+    }
+
     #[test]
     fn star_topology_runs_the_same_comparison() {
         let tuning = CellTuning::fast();
         let mk = |adversary, stack| CellSpec {
             topology: TopologySpec::star_default(),
+            link: LinkProfileSpec::Clean,
             workload: WorkloadSpec::voip_default(),
             adversary,
             stack,

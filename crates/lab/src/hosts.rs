@@ -22,7 +22,9 @@ use nn_crypto::e2e;
 use nn_crypto::sealed::AddrSealer;
 use nn_crypto::{Cmac, E2eSession, RsaKeypair};
 use nn_netsim::{Context, FlowKey, IfaceId, Node, SimTime};
-use nn_packet::{build_shim, build_udp, parse_shim, parse_udp, Ipv4Addr, ShimRepr, ShimType};
+use nn_packet::{
+    build_shim, build_udp, ecn, parse_shim, parse_udp, Ipv4Addr, Ipv4Packet, ShimRepr, ShimType,
+};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -37,6 +39,25 @@ const SETUP_RETRY_INTERVAL: std::time::Duration = std::time::Duration::from_mill
 
 /// UDP port both ends of the plain transport use (an RTP-like workload).
 pub const APP_PORT: u16 = 16384;
+
+/// Marks an outgoing frame ECT(0): both host stacks model ECN-capable
+/// transports, so an ECN-enabled AQM on the path can CE-mark their
+/// packets instead of dropping them. The DSCP is untouched (§3.4).
+fn stamp_ect(mut frame: Vec<u8>) -> Vec<u8> {
+    Ipv4Packet::new_unchecked(&mut frame[..]).set_ecn(ecn::ECT0);
+    frame
+}
+
+/// Records a CE-marked delivery against `flow` (receiver-side ECN
+/// accounting; the transports here have no congestion response, so the
+/// mark is measured rather than reacted to).
+fn note_ce(ctx: &mut Context, frame: &[u8], flow: &str) {
+    if let Ok(ip) = Ipv4Packet::new_checked(frame) {
+        if ip.ecn() == ecn::CE {
+            ctx.stats.flow_ce(&FlowKey::new(flow));
+        }
+    }
+}
 
 /// Derives the record-channel key from the envelope session key.
 ///
@@ -156,7 +177,7 @@ impl PlainSourceNode {
     fn flush(&mut self, ctx: &mut Context) {
         for frame in self.driver.poll(ctx) {
             match build_udp(self.addr, self.dst, self.dscp, APP_PORT, APP_PORT, &frame) {
-                Ok(pkt) => ctx.send(0, pkt),
+                Ok(pkt) => ctx.send(0, stamp_ect(pkt)),
                 // flow_tx already counted this packet: record that it
                 // never left, so 0% delivery is not misread as loss.
                 Err(_) => ctx.stats.count("source.build_fail"),
@@ -186,7 +207,7 @@ impl Node for PlainSourceNode {
         self.replies += 1;
         for frame in reactions {
             match build_udp(self.addr, self.dst, self.dscp, APP_PORT, APP_PORT, &frame) {
-                Ok(pkt) => ctx.send(0, pkt),
+                Ok(pkt) => ctx.send(0, stamp_ect(pkt)),
                 Err(_) => ctx.stats.count("source.build_fail"),
             }
         }
@@ -224,6 +245,7 @@ impl Node for PlainServerNode {
         self.rx_frames += 1;
         ctx.stats
             .flow_rx(&FlowKey::new(flow), data.len(), sent, ctx.now);
+        note_ce(ctx, &frame, flow);
         if self.echo {
             if let Ok(reply) = build_udp(
                 self.addr,
@@ -233,7 +255,7 @@ impl Node for PlainServerNode {
                 APP_PORT,
                 parsed.payload,
             ) {
-                ctx.send(0, reply);
+                ctx.send(0, stamp_ect(reply));
             }
         }
     }
@@ -351,7 +373,7 @@ impl NeutralizedSourceNode {
             &shim,
             &msg.to_bytes(),
         ) {
-            Ok(pkt) => ctx.send(0, pkt),
+            Ok(pkt) => ctx.send(0, stamp_ect(pkt)),
             // flow_tx already counted this packet: record that it never
             // left, so 0% delivery is not misread as loss.
             Err(_) => ctx.stats.count("source.build_fail"),
@@ -386,7 +408,7 @@ impl NeutralizedSourceNode {
             &shim,
             &kp.public.to_wire(),
         ) {
-            ctx.send(0, pkt);
+            ctx.send(0, stamp_ect(pkt));
         }
         ctx.set_timer(SETUP_RETRY_INTERVAL, TOKEN_SETUP_RETRY);
     }
@@ -541,7 +563,7 @@ impl NeutralizedServerNode {
             stamp: None,
         };
         if let Ok(pkt) = build_shim(self.addr, self.neutralizer, 0, &shim, &msg.to_bytes()) {
-            ctx.send(0, pkt);
+            ctx.send(0, stamp_ect(pkt));
         }
     }
 }
@@ -595,6 +617,7 @@ impl Node for NeutralizedServerNode {
         self.rx_frames += 1;
         ctx.stats
             .flow_rx(&FlowKey::new(flow), data.len(), sent, ctx.now);
+        note_ce(ctx, &frame, flow);
         if self.echo {
             self.echo_reply(ctx, initiator, nonce, &inner.app);
         }

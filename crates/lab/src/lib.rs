@@ -1,12 +1,19 @@
 //! # nn-lab — declarative experiment-matrix engine
 //!
 //! The paper's evaluation is one A/B/C comparison; the lab generalizes
-//! it into a declarative matrix of (topology × workload × adversary ×
-//! host stack × seed) cells run in parallel across OS threads:
+//! it into a declarative matrix of (topology × link × workload ×
+//! adversary × host stack × seed) cells run in parallel across OS
+//! threads:
 //!
 //! * [`topology`] — chain (the legacy shape), dumbbell, eyeball-ISP
 //!   star, and multi-AS path generators with the discriminator at a
-//!   configurable hop, built on [`nn_netsim::Simulator::connect`].
+//!   configurable hop, built on [`nn_netsim::Simulator::connect`];
+//!   dumbbell and star can attach background cross-traffic customers so
+//!   the bottleneck actually congests.
+//! * [`link`] — the bottleneck impairment axis: clean, Gilbert–Elliott
+//!   burst loss, a congested ECN-marking RED bottleneck, and a plain
+//!   congested drop-tail bottleneck, lowered onto
+//!   [`nn_netsim::LinkProfile`] pipelines.
 //! * [`workload`] — VoIP (the legacy victim), bulk transfer, web-style
 //!   request/response and constant-rate streaming, each a deterministic
 //!   schedule pluggable into either host stack.
@@ -31,6 +38,7 @@ pub mod adversary;
 pub mod cell;
 pub mod hosts;
 pub mod json;
+pub mod link;
 pub mod matrix;
 pub mod topology;
 pub mod workload;
@@ -40,6 +48,7 @@ pub use cell::{run_cell, CellFlow, CellReport, CellSpec, CellTuning, StackKind};
 pub use hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
 };
+pub use link::LinkProfileSpec;
 pub use matrix::{
     named_matrix, run_matrix, run_matrix_with_threads, ExperimentSpec, MatrixCell, MatrixReport,
     RelativeMetrics, NAMED_MATRICES,

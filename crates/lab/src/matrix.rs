@@ -1,8 +1,8 @@
 //! The experiment-matrix engine.
 //!
-//! An [`ExperimentSpec`] names the axes — topologies × workloads ×
-//! adversaries × host stacks × seeds — and expands into the full cross
-//! product of [`crate::cell::CellSpec`]s. Every cell gets a
+//! An [`ExperimentSpec`] names the axes — topologies × links ×
+//! workloads × adversaries × host stacks × seeds — and expands into the
+//! full cross product of [`crate::cell::CellSpec`]s. Every cell gets a
 //! deterministic simulator seed (an FNV-1a hash of the spec identity and
 //! the cell index — no wall clock anywhere), so the same spec reproduces
 //! byte-identical reports on any machine.
@@ -18,6 +18,7 @@
 use crate::adversary::AdversarySpec;
 use crate::cell::{run_cell, CellFlow, CellReport, CellSpec, CellTuning, StackKind};
 use crate::json::Json;
+use crate::link::LinkProfileSpec;
 use crate::topology::TopologySpec;
 use crate::workload::WorkloadSpec;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -30,6 +31,8 @@ pub struct ExperimentSpec {
     pub name: String,
     /// Topology axis.
     pub topologies: Vec<TopologySpec>,
+    /// Link axis: bottleneck impairment profiles.
+    pub links: Vec<LinkProfileSpec>,
     /// Workload axis.
     pub workloads: Vec<WorkloadSpec>,
     /// Adversary axis.
@@ -54,28 +57,33 @@ pub struct MatrixCellSpec {
 }
 
 impl ExperimentSpec {
-    /// Expands the axes into the full cross product, topology-major.
+    /// Expands the axes into the full cross product, topology-major
+    /// (then link-major: the environment axes vary slowest).
     pub fn cells(&self) -> Vec<MatrixCellSpec> {
         let mut out = Vec::new();
         for topology in &self.topologies {
-            for workload in &self.workloads {
-                for adversary in &self.adversaries {
-                    for &stack in &self.stacks {
-                        for &seed_axis in &self.seeds {
-                            let index = out.len();
-                            let sim_seed = self
-                                .cell_seed(index, topology, workload, adversary, stack, seed_axis);
-                            out.push(MatrixCellSpec {
-                                index,
-                                seed_axis,
-                                cell: CellSpec {
-                                    topology: topology.clone(),
-                                    workload: workload.clone(),
-                                    adversary: adversary.clone(),
-                                    stack,
-                                    seed: sim_seed,
-                                },
-                            });
+            for link in &self.links {
+                for workload in &self.workloads {
+                    for adversary in &self.adversaries {
+                        for &stack in &self.stacks {
+                            for &seed_axis in &self.seeds {
+                                let index = out.len();
+                                let sim_seed = self.cell_seed(
+                                    index, topology, link, workload, adversary, stack, seed_axis,
+                                );
+                                out.push(MatrixCellSpec {
+                                    index,
+                                    seed_axis,
+                                    cell: CellSpec {
+                                        topology: topology.clone(),
+                                        link: *link,
+                                        workload: workload.clone(),
+                                        adversary: adversary.clone(),
+                                        stack,
+                                        seed: sim_seed,
+                                    },
+                                });
+                            }
                         }
                     }
                 }
@@ -87,10 +95,12 @@ impl ExperimentSpec {
     /// The deterministic simulator seed for one cell: FNV-1a over the
     /// spec name, every axis name, the seed-axis value and the cell
     /// index. No wall-clock input, so a spec reproduces exactly.
+    #[allow(clippy::too_many_arguments)]
     fn cell_seed(
         &self,
         index: usize,
         topology: &TopologySpec,
+        link: &LinkProfileSpec,
         workload: &WorkloadSpec,
         adversary: &AdversarySpec,
         stack: StackKind,
@@ -99,6 +109,7 @@ impl ExperimentSpec {
         let mut h = Fnv1a::new();
         h.write(self.name.as_bytes());
         h.write(topology.name().as_bytes());
+        h.write(link.name().as_bytes());
         h.write(workload.name().as_bytes());
         h.write(adversary.name().as_bytes());
         h.write(stack.name().as_bytes());
@@ -133,6 +144,8 @@ pub struct MatrixCell {
     pub index: usize,
     /// Topology axis name.
     pub topology: String,
+    /// Link axis name.
+    pub link: String,
     /// Workload axis name.
     pub workload: String,
     /// Adversary axis name.
@@ -206,6 +219,7 @@ pub fn run_matrix_with_threads(spec: &ExperimentSpec, threads: usize) -> MatrixR
         .map(|(mc, report)| MatrixCell {
             index: mc.index,
             topology: mc.cell.topology.name(),
+            link: mc.cell.link.name(),
             workload: mc.cell.workload.name().to_string(),
             adversary: mc.cell.adversary.name().to_string(),
             stack: mc.cell.stack.name().to_string(),
@@ -217,10 +231,12 @@ pub fn run_matrix_with_threads(spec: &ExperimentSpec, threads: usize) -> MatrixR
         .collect();
 
     // Baseline-relative metrics: the (none, plain) cell of the same
-    // (topology, workload, seed-axis) group, when the matrix has one.
-    // Grouping compares the actual axis *specs* (not their display
+    // (topology, link, workload, seed-axis) group, when the matrix has
+    // one. Grouping compares the actual axis *specs* (not their display
     // names, which may drop parameters — two dumbbells with different
-    // bottlenecks must not share a baseline).
+    // bottlenecks must not share a baseline), and includes the link
+    // axis: a lossy cell is judged against a lossy baseline, so the
+    // ratios isolate the *adversary's* contribution.
     let baselines: Vec<(usize, f64, f64, f64)> = cells
         .iter()
         .filter(|mc| mc.cell.adversary == AdversarySpec::None && mc.cell.stack == StackKind::Plain)
@@ -238,6 +254,7 @@ pub fn run_matrix_with_threads(spec: &ExperimentSpec, threads: usize) -> MatrixR
         let base = baselines.iter().find(|&&(bi, ..)| {
             let b = &cells[bi].cell;
             b.topology == mc.cell.topology
+                && b.link == mc.cell.link
                 && b.workload == mc.cell.workload
                 && cells[bi].seed_axis == mc.seed_axis
         });
@@ -280,6 +297,7 @@ impl MatrixReport {
                 Json::obj(vec![
                     ("index", Json::UInt(c.index as u64)),
                     ("topology", Json::Str(c.topology.clone())),
+                    ("link", Json::Str(c.link.clone())),
                     ("workload", Json::Str(c.workload.clone())),
                     ("adversary", Json::Str(c.adversary.clone())),
                     ("stack", Json::Str(c.stack.clone())),
@@ -310,13 +328,13 @@ impl MatrixReport {
     /// columns empty when the cell has no baseline).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,topology,workload,adversary,stack,seed_axis,sim_seed,flow,tx_packets,\
+            "index,topology,link,workload,adversary,stack,seed_axis,sim_seed,flow,tx_packets,\
              rx_packets,delivery_ratio,goodput_bps,mean_delay_ms,p99_delay_ms,jitter_ms,\
-             replies,verified_return_blocks,policy_drops,events,goodput_ratio,\
+             ce_marks,replies,verified_return_blocks,policy_drops,events,goodput_ratio,\
              mean_delay_ratio,jitter_ratio\n",
         );
         for c in &self.cells {
-            let (flow, tx, rx, delivery, goodput, mean_d, p99, jitter) =
+            let (flow, tx, rx, delivery, goodput, mean_d, p99, jitter, ce) =
                 match c.report.flows.first() {
                     Some(f) => (
                         f.flow.as_str(),
@@ -327,8 +345,9 @@ impl MatrixReport {
                         f.mean_delay_ms,
                         f.p99_delay_ms,
                         f.jitter_ms,
+                        f.ce_marks,
                     ),
-                    None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0),
+                    None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0),
                 };
             let rel = match &c.relative {
                 Some(r) => format!(
@@ -338,9 +357,10 @@ impl MatrixReport {
                 None => ",,".to_string(),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.index,
                 c.topology,
+                c.link,
                 c.workload,
                 c.adversary,
                 c.stack,
@@ -354,6 +374,7 @@ impl MatrixReport {
                 mean_d,
                 p99,
                 jitter,
+                ce,
                 c.report.replies,
                 c.report.verified_return_blocks,
                 c.report.policy_drops,
@@ -368,10 +389,17 @@ impl MatrixReport {
 /// Named matrices the `nn-lab` binary can run.
 pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
     let spec = match name {
-        // The CI smoke matrix: 2 topologies × 2 adversaries × 2 seeds.
+        // The CI smoke matrix: 2 topologies × 3 links × 2 adversaries ×
+        // 2 seeds — one lossy-burst and one ecn-red cell ride in every
+        // smoke run so the link axis cannot silently rot.
         "smoke" => ExperimentSpec {
             name: "smoke".to_string(),
             topologies: vec![TopologySpec::chain(), TopologySpec::star_default()],
+            links: vec![
+                LinkProfileSpec::Clean,
+                LinkProfileSpec::lossy_burst_default(),
+                LinkProfileSpec::ecn_red_default(),
+            ],
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
             stacks: vec![StackKind::Plain],
@@ -383,6 +411,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
         "default" => ExperimentSpec {
             name: "default".to_string(),
             topologies: vec![TopologySpec::chain(), TopologySpec::dumbbell_default()],
+            links: vec![LinkProfileSpec::Clean],
             workloads: vec![
                 WorkloadSpec::voip_default(),
                 WorkloadSpec::bulk_default(),
@@ -393,15 +422,43 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             seeds: vec![1, 2],
             tuning: CellTuning::fast(),
         },
-        // Everything: 4 topologies × 4 workloads × 6 adversaries ×
-        // 2 stacks × 2 seeds = 384 cells.
+        // The congestion story the flat link API could not tell: a
+        // cross-traffic dumbbell under clean vs ECN-RED bottlenecks.
+        // Content DPI collapses the plain stack and neutralization
+        // recovers it *under congestion*, while tiered priority degrades
+        // both stacks alike — 36 cells.
+        "congested" => ExperimentSpec {
+            name: "congested".to_string(),
+            topologies: vec![TopologySpec::dumbbell_crossed()],
+            links: vec![
+                LinkProfileSpec::Clean,
+                LinkProfileSpec::ecn_red_default(),
+                LinkProfileSpec::congested_default(),
+            ],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![
+                AdversarySpec::None,
+                AdversarySpec::content_dpi_default(),
+                AdversarySpec::tiered_default(),
+            ],
+            stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            seeds: vec![1, 2],
+            tuning: CellTuning::fast(),
+        },
+        // Everything: 4 topologies × 3 links × 4 workloads ×
+        // 6 adversaries × 2 stacks × 2 seeds = 1152 cells.
         "full" => ExperimentSpec {
             name: "full".to_string(),
             topologies: vec![
                 TopologySpec::chain(),
-                TopologySpec::dumbbell_default(),
+                TopologySpec::dumbbell_crossed(),
                 TopologySpec::star_default(),
                 TopologySpec::multi_as_default(),
+            ],
+            links: vec![
+                LinkProfileSpec::Clean,
+                LinkProfileSpec::lossy_burst_default(),
+                LinkProfileSpec::ecn_red_default(),
             ],
             workloads: vec![
                 WorkloadSpec::voip_default(),
@@ -427,7 +484,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
 }
 
 /// Names [`named_matrix`] accepts, in documentation order.
-pub const NAMED_MATRICES: [&str; 3] = ["smoke", "default", "full"];
+pub const NAMED_MATRICES: [&str; 4] = ["smoke", "default", "congested", "full"];
 
 #[cfg(test)]
 mod tests {
@@ -440,6 +497,7 @@ mod tests {
         ExperimentSpec {
             name: "tiny".to_string(),
             topologies: vec![TopologySpec::chain()],
+            links: vec![LinkProfileSpec::Clean],
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
             stacks: vec![StackKind::Plain],
@@ -455,7 +513,9 @@ mod tests {
     fn expansion_is_the_full_cross_product() {
         let spec = named_matrix("default").unwrap();
         let cells = spec.cells();
-        assert_eq!(cells.len(), 2 * 3 * 2 * 2 * 2);
+        // 2 topologies × 1 link × 3 workloads × 2 adversaries ×
+        // 2 stacks × 2 seeds.
+        assert_eq!(cells.len(), 48);
         assert!(cells.len() >= 24, "acceptance floor");
         // Indexes are positional and seeds all distinct (hash mixing).
         let seeds: std::collections::HashSet<u64> = cells.iter().map(|c| c.cell.seed).collect();
@@ -510,11 +570,14 @@ mod tests {
             topologies: vec![
                 TopologySpec::Dumbbell {
                     bottleneck_bps: 5_000_000,
+                    background_flows: 0,
                 },
                 TopologySpec::Dumbbell {
                     bottleneck_bps: 300_000,
+                    background_flows: 0,
                 },
             ],
+            links: vec![LinkProfileSpec::Clean],
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None],
             stacks: vec![StackKind::Plain],
@@ -575,5 +638,142 @@ mod tests {
             assert!(!spec.cells().is_empty(), "{name} expands");
         }
         assert!(named_matrix("nope").is_none());
+        // The full matrix carries the whole link axis.
+        let full = named_matrix("full").unwrap();
+        assert_eq!(full.cells().len(), 4 * 3 * 4 * 6 * 2 * 2);
+    }
+
+    /// Link profiles group baselines like topologies do: a lossy cell is
+    /// judged against the lossy baseline, never the clean one.
+    #[test]
+    fn link_axis_cells_keep_separate_baselines() {
+        let spec = ExperimentSpec {
+            name: "links".to_string(),
+            topologies: vec![TopologySpec::chain()],
+            links: vec![
+                LinkProfileSpec::Clean,
+                LinkProfileSpec::LossyBurst {
+                    p_enter_bad: 0.05,
+                    p_exit_bad: 0.15,
+                    loss_bad: 0.9,
+                },
+            ],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![AdversarySpec::None],
+            stacks: vec![StackKind::Plain],
+            seeds: vec![1],
+            tuning: CellTuning {
+                duration: Duration::from_millis(200),
+                ..CellTuning::fast()
+            },
+        };
+        let report = run_matrix_with_threads(&spec, 2);
+        assert_eq!(report.cells.len(), 2);
+        assert_ne!(report.cells[0].link, report.cells[1].link);
+        // The burst link genuinely degrades delivery...
+        let ratio = |c: &MatrixCell| c.report.flows[0].delivery_ratio;
+        assert!(ratio(&report.cells[1]) < ratio(&report.cells[0]));
+        // ...yet each cell is its own baseline (ratio exactly 1), which
+        // clean-baseline grouping would get wrong for the lossy cell.
+        for c in &report.cells {
+            let rel = c.relative.expect("self-baseline");
+            assert!((rel.goodput_ratio - 1.0).abs() < 1e-9, "{}", c.link);
+        }
+    }
+
+    /// The acceptance story the flat API could not tell: under a
+    /// congested ECN-RED bottleneck with live cross-traffic, content DPI
+    /// still collapses the plain stack and neutralization still recovers
+    /// it (relative to the equally-congested baseline), while tiered
+    /// priority degrades both stacks alike — and the whole matrix is
+    /// byte-identical across thread counts for a fixed seed.
+    #[test]
+    fn congested_ecn_red_story_holds_and_is_thread_invariant() {
+        let spec = ExperimentSpec {
+            name: "congested-story".to_string(),
+            topologies: vec![TopologySpec::dumbbell_crossed()],
+            links: vec![LinkProfileSpec::ecn_red_default()],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![
+                AdversarySpec::None,
+                AdversarySpec::content_dpi_default(),
+                AdversarySpec::tiered_default(),
+            ],
+            stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            seeds: vec![1],
+            tuning: CellTuning::fast(),
+        };
+        let report = run_matrix_with_threads(&spec, 4);
+        let single = run_matrix_with_threads(&spec, 1);
+        assert_eq!(
+            report.to_json(),
+            single.to_json(),
+            "thread count must not leak into results"
+        );
+
+        let find = |adversary: &str, stack: &str| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.adversary == adversary && c.stack == stack)
+                .unwrap_or_else(|| panic!("cell ({adversary}, {stack}) exists"))
+        };
+        // The bottleneck is genuinely congested and ECN is live: the
+        // baseline cell loses frames or carries CE marks.
+        let baseline = find("none", "plain");
+        let ce = baseline
+            .report
+            .counters
+            .iter()
+            .find(|(n, _)| n == "bottleneck.ce_marks")
+            .map(|&(_, v)| v)
+            .unwrap_or(0);
+        assert!(ce > 0, "ECN-RED must mark under cross-traffic");
+        assert!(baseline.report.flows[0].ce_marks > 0);
+        // CE marks survive the neutralizer's rewrite too (it preserves
+        // the whole ToS byte, not just the DSCP), so the neutralized
+        // destination observes congestion signals as well.
+        let baseline_neut = find("none", "neutralized");
+        assert!(
+            baseline_neut.report.flows[0].ce_marks > 0,
+            "CE must survive the neutralizer rewrite: {:?}",
+            baseline_neut.report.flows[0]
+        );
+
+        // Content DPI: collapse on plain, recovery on neutralized —
+        // measured against the *equally congested* baseline.
+        let dpi_plain = find("content-dpi", "plain");
+        assert!(dpi_plain.report.policy_drops > 0);
+        assert!(
+            dpi_plain.relative.unwrap().goodput_ratio < 0.5,
+            "DPI must collapse plain goodput under congestion: {:?}",
+            dpi_plain.relative
+        );
+        let dpi_neut = find("content-dpi", "neutralized");
+        assert_eq!(dpi_neut.report.policy_drops, 0, "nothing left to match");
+        assert!(
+            dpi_neut.relative.unwrap().goodput_ratio > 0.7,
+            "neutralization must recover goodput under congestion: {:?}",
+            dpi_neut.relative
+        );
+        // Tiered priority needs no classification signal, so
+        // neutralization cannot repair it: where DPI recovery multiplies
+        // goodput, the neutralized stack gains nothing under tiering —
+        // it does strictly worse than plain (encryption cannot earn the
+        // premium DSCP, and the policer bites both).
+        let tiered_plain = find("tiered-priority", "plain");
+        let tiered_neut = find("tiered-priority", "neutralized");
+        assert!(tiered_plain.report.policy_drops > 0);
+        assert!(tiered_neut.report.policy_drops > 0, "still classified");
+        assert!(
+            dpi_neut.report.goodput_bps() > 2.0 * dpi_plain.report.goodput_bps(),
+            "neutralization multiplies goodput against DPI"
+        );
+        assert!(
+            tiered_neut.report.goodput_bps() < tiered_plain.report.goodput_bps(),
+            "but buys nothing against tiering: {} vs {}",
+            tiered_neut.report.goodput_bps(),
+            tiered_plain.report.goodput_bps()
+        );
     }
 }

@@ -18,10 +18,25 @@
 //! Route tables come from [`nn_netsim::compute_routes`] over the built
 //! graph, so anycast neutralizer addressing works identically in every
 //! shape.
+//!
+//! Every generator designates one *bottleneck* direction on the victim's
+//! forward path and lowers the cell's [`LinkProfileSpec`] onto it, so
+//! the link axis degrades the same logical hop in every shape. Dumbbell
+//! and star can additionally attach `background_flows` cross-traffic
+//! customers — stub hosts pushing bulk traffic over the bottleneck — so
+//! congestion-dependent cells (ECN marking, DSCP tiering) have
+//! competition to act on.
 
+use crate::hosts::PlainSourceNode;
+use crate::link::LinkProfileSpec;
+use crate::workload::marked_payload;
+use nn_core::app::{AppCommand, AppSource};
 use nn_core::neutralizer::NeutralizerNode;
-use nn_netsim::{compute_routes, LinkConfig, Node, NodeId, RouterNode, Simulator};
+use nn_netsim::{
+    compute_routes, IfaceId, LinkConfig, Node, NodeId, RouterNode, SimTime, Simulator,
+};
 use nn_packet::{Ipv4Addr, Ipv4Cidr};
+use rand::rngs::StdRng;
 use std::time::Duration;
 
 /// The source host's address (outside the neutral domain).
@@ -60,6 +75,9 @@ pub enum TopologySpec {
     Dumbbell {
         /// Bottleneck bandwidth in bits/sec.
         bottleneck_bps: u64,
+        /// Cross-traffic customers on the near side, each pushing a
+        /// bulk schedule across the bottleneck to the far-side stub.
+        background_flows: usize,
     },
     /// An eyeball-ISP hub: the source and `spokes - 2` stub customers
     /// attach directly to the hub, the neutral domain hangs off it. The
@@ -68,6 +86,10 @@ pub enum TopologySpec {
         /// Total spokes including the source and the neutral-domain
         /// branch (≥ 2).
         spokes: usize,
+        /// Cross-traffic customers attached as extra spokes, each
+        /// pushing a bulk schedule over the hub's uplink into the
+        /// neutral domain (toward a dedicated background sink).
+        background_flows: usize,
     },
     /// A path of autonomous systems, each an ingress/egress router pair
     /// with fast intra-AS and slow inter-AS links. The egress of
@@ -98,6 +120,11 @@ pub struct BuiltTopology {
     pub routers: Vec<NodeId>,
     /// Every prefix advertised into routing, with its owner.
     pub advertised: Vec<(Ipv4Cidr, NodeId)>,
+    /// The forward direction the link axis impaired, as a
+    /// `(node, iface)` pair for [`nn_netsim::Simulator::link_counters`].
+    pub bottleneck: (NodeId, IfaceId),
+    /// The cross-traffic source nodes (empty without background flows).
+    pub background: Vec<NodeId>,
 }
 
 impl TopologySpec {
@@ -109,16 +136,29 @@ impl TopologySpec {
         }
     }
 
-    /// A dumbbell with a 5 Mbit/s bottleneck.
+    /// A dumbbell with a 5 Mbit/s bottleneck and no cross-traffic.
     pub fn dumbbell_default() -> Self {
         TopologySpec::Dumbbell {
             bottleneck_bps: 5_000_000,
+            background_flows: 0,
         }
     }
 
-    /// A five-spoke eyeball-ISP star.
+    /// A dumbbell whose bottleneck carries two competing bulk customers
+    /// — the shape the congestion-dependent cells are studied on.
+    pub fn dumbbell_crossed() -> Self {
+        TopologySpec::Dumbbell {
+            bottleneck_bps: 5_000_000,
+            background_flows: 2,
+        }
+    }
+
+    /// A five-spoke eyeball-ISP star with no cross-traffic.
     pub fn star_default() -> Self {
-        TopologySpec::Star { spokes: 5 }
+        TopologySpec::Star {
+            spokes: 5,
+            background_flows: 0,
+        }
     }
 
     /// A three-AS path discriminating in the middle AS.
@@ -137,12 +177,21 @@ impl TopologySpec {
                 disc_hop: 0,
             } => "chain".to_string(),
             TopologySpec::Chain { hops, disc_hop } => format!("chain{hops}-d{disc_hop}"),
-            // The bottleneck is part of the identity: two dumbbells
-            // with different bottlenecks must not share a report label.
-            TopologySpec::Dumbbell { bottleneck_bps } => {
-                format!("dumbbell-{}k", bottleneck_bps / 1000)
-            }
-            TopologySpec::Star { spokes } => format!("star{spokes}"),
+            // The bottleneck and cross-traffic count are part of the
+            // identity: two dumbbells with different parameters must
+            // not share a report label (or a baseline).
+            TopologySpec::Dumbbell {
+                bottleneck_bps,
+                background_flows,
+            } => format!(
+                "dumbbell-{}k{}",
+                bottleneck_bps / 1000,
+                bg_suffix(background_flows)
+            ),
+            TopologySpec::Star {
+                spokes,
+                background_flows,
+            } => format!("star{spokes}{}", bg_suffix(background_flows)),
             TopologySpec::MultiAs { as_count, disc_as } => {
                 format!("multi-as{as_count}-d{disc_as}")
             }
@@ -153,7 +202,9 @@ impl TopologySpec {
     /// connects links, computes and installs route tables. `neut_node`
     /// must be a [`NeutralizerNode`] (it receives the neutral domain's
     /// routes); `dyn_pool` is its dynamic QoS pool prefix, advertised
-    /// alongside the anycast address.
+    /// alongside the anycast address. The `link` axis is lowered onto
+    /// the shape's bottleneck direction (forward path only — the return
+    /// path keeps the native wire, so degradation is attributable).
     pub fn build(
         &self,
         sim: &mut Simulator,
@@ -161,6 +212,7 @@ impl TopologySpec {
         neut_node: Box<dyn Node>,
         dst_node: Box<dyn Node>,
         dyn_pool: Ipv4Cidr,
+        link: &LinkProfileSpec,
     ) -> BuiltTopology {
         match *self {
             TopologySpec::Chain { hops, disc_hop } => {
@@ -184,7 +236,15 @@ impl TopologySpec {
                 for w in routers.windows(2) {
                     sim.connect_sym(w[0], w[1], backbone_link());
                 }
-                sim.connect_sym(*routers.last().unwrap(), neut, backbone_link());
+                // The backbone hop into the neutral domain is the
+                // chain's bottleneck.
+                let last = *routers.last().unwrap();
+                let (bneck_iface, _) = sim.connect(
+                    last,
+                    neut,
+                    link.bottleneck_profile(backbone_link()),
+                    backbone_link(),
+                );
                 sim.connect_sym(neut, dst, edge_link());
 
                 let advertised = base_prefixes(src, dst, neut, dyn_pool);
@@ -197,9 +257,14 @@ impl TopologySpec {
                     disc_name: sim.node_name(routers[disc_hop]).to_string(),
                     routers,
                     advertised,
+                    bottleneck: (last, bneck_iface),
+                    background: Vec::new(),
                 }
             }
-            TopologySpec::Dumbbell { bottleneck_bps } => {
+            TopologySpec::Dumbbell {
+                bottleneck_bps,
+                background_flows,
+            } => {
                 let src = sim.add_node("src", src_node);
                 let isp = sim.add_node("isp", Box::new(RouterNode::new("isp")));
                 let core = sim.add_node("core", Box::new(RouterNode::new("core")));
@@ -209,11 +274,9 @@ impl TopologySpec {
                 let leaf_r = sim.add_node("leaf-r", Box::new(nn_netsim::SinkNode::new()));
 
                 sim.connect_sym(src, isp, edge_link());
-                sim.connect_sym(
-                    isp,
-                    core,
-                    LinkConfig::new(bottleneck_bps, Duration::from_millis(10)),
-                );
+                let native = LinkConfig::new(bottleneck_bps, Duration::from_millis(10));
+                let (bneck_iface, _) =
+                    sim.connect(isp, core, link.bottleneck_profile(native.clone()), native);
                 sim.connect_sym(core, neut, edge_link());
                 sim.connect_sym(neut, dst, edge_link());
                 sim.connect_sym(isp, leaf_l, edge_link());
@@ -222,6 +285,15 @@ impl TopologySpec {
                 let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
                 advertised.push((stub_prefix(1), leaf_l));
                 advertised.push((stub_prefix(2), leaf_r));
+                // Cross traffic: near-side customers flooding the
+                // far-side stub, across the bottleneck.
+                let background = attach_background(
+                    sim,
+                    background_flows,
+                    isp,
+                    Ipv4Addr::new(10, 200, 2, 99),
+                    &mut advertised,
+                );
                 let routers = vec![isp, core];
                 install_routes(sim, &routers, neut, &advertised);
                 BuiltTopology {
@@ -232,9 +304,14 @@ impl TopologySpec {
                     disc_name: "isp".to_string(),
                     routers,
                     advertised,
+                    bottleneck: (isp, bneck_iface),
+                    background,
                 }
             }
-            TopologySpec::Star { spokes } => {
+            TopologySpec::Star {
+                spokes,
+                background_flows,
+            } => {
                 assert!(spokes >= 2, "star needs the source and neutral spokes");
                 // Stub customers get distinct 10.200.i.0/24 prefixes;
                 // one u8 octet bounds how many fit.
@@ -244,7 +321,14 @@ impl TopologySpec {
                 let neut = sim.add_node("neut", neut_node);
                 let dst = sim.add_node("dst", dst_node);
                 sim.connect_sym(src, hub, edge_link());
-                sim.connect_sym(hub, neut, backbone_link());
+                // The hub's uplink into the neutral domain is the
+                // star's bottleneck.
+                let (bneck_iface, _) = sim.connect(
+                    hub,
+                    neut,
+                    link.bottleneck_profile(backbone_link()),
+                    backbone_link(),
+                );
                 sim.connect_sym(neut, dst, edge_link());
 
                 let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
@@ -254,6 +338,22 @@ impl TopologySpec {
                     sim.connect_sym(hub, leaf, edge_link());
                     advertised.push((stub_prefix(i as u8 + 1), leaf));
                 }
+                // Cross traffic: extra spokes flooding a dedicated sink
+                // inside the neutral domain, over the hub's uplink.
+                let background = if background_flows > 0 {
+                    let bg_sink = sim.add_node("bg-sink", Box::new(nn_netsim::SinkNode::new()));
+                    sim.connect_sym(neut, bg_sink, edge_link());
+                    advertised.push((Ipv4Cidr::new(Ipv4Addr::new(10, 220, 0, 0), 24), bg_sink));
+                    attach_background(
+                        sim,
+                        background_flows,
+                        hub,
+                        Ipv4Addr::new(10, 220, 0, 99),
+                        &mut advertised,
+                    )
+                } else {
+                    Vec::new()
+                };
                 let routers = vec![hub];
                 install_routes(sim, &routers, neut, &advertised);
                 BuiltTopology {
@@ -264,6 +364,8 @@ impl TopologySpec {
                     disc_name: "hub".to_string(),
                     routers,
                     advertised,
+                    bottleneck: (hub, bneck_iface),
+                    background,
                 }
             }
             TopologySpec::MultiAs { as_count, disc_as } => {
@@ -293,7 +395,15 @@ impl TopologySpec {
                         sim.connect_sym(routers[2 * i + 1], routers[2 * i + 2], backbone_link());
                     }
                 }
-                sim.connect_sym(*routers.last().unwrap(), neut, backbone_link());
+                // The last inter-domain hop into the neutral domain is
+                // the multi-AS path's bottleneck.
+                let last = *routers.last().unwrap();
+                let (bneck_iface, _) = sim.connect(
+                    last,
+                    neut,
+                    link.bottleneck_profile(backbone_link()),
+                    backbone_link(),
+                );
                 sim.connect_sym(neut, dst, edge_link());
 
                 let advertised = base_prefixes(src, dst, neut, dyn_pool);
@@ -307,6 +417,8 @@ impl TopologySpec {
                     disc_name: sim.node_name(discriminator).to_string(),
                     routers,
                     advertised,
+                    bottleneck: (last, bneck_iface),
+                    background: Vec::new(),
                 }
             }
         }
@@ -331,6 +443,76 @@ fn base_prefixes(
 /// A /24 for the i-th stub customer.
 fn stub_prefix(i: u8) -> Ipv4Cidr {
     Ipv4Cidr::new(Ipv4Addr::new(10, 200, i, 0), 24)
+}
+
+/// Axis-name suffix for cross-traffic counts (empty when none).
+fn bg_suffix(background_flows: usize) -> String {
+    if background_flows == 0 {
+        String::new()
+    } else {
+        format!("-bg{background_flows}")
+    }
+}
+
+/// Inter-frame gap of the cross-traffic generator: 1200 B at 2 Mbit/s.
+const BG_INTERVAL_NS: u64 = 4_800_000;
+
+/// The cross-traffic generator: 1200-byte frames at 2 Mbit/s, produced
+/// lazily on the timer clock for as long as the cell runs — no schedule
+/// is materialized ahead of time, and the bottleneck stays loaded over
+/// any horizon. The payload marker deliberately matches no
+/// [`crate::workload`] DPI signature: cross traffic competes for
+/// capacity, not for the adversary's classifier.
+struct BackgroundApp {
+    next_seq: u64,
+}
+
+impl AppSource for BackgroundApp {
+    fn poll(&mut self, now: SimTime, _rng: &mut StdRng) -> Vec<AppCommand> {
+        let mut out = Vec::new();
+        while self.next_seq * BG_INTERVAL_NS <= now.as_nanos() {
+            out.push(AppCommand {
+                to: "bg-sink".to_string(),
+                data: marked_payload(b"BG/CROSS", self.next_seq, 1200),
+            });
+            self.next_seq += 1;
+        }
+        out
+    }
+
+    fn next_wake(&self, _now: SimTime) -> Option<SimTime> {
+        Some(SimTime(self.next_seq * BG_INTERVAL_NS))
+    }
+
+    fn on_receive(&mut self, _now: SimTime, _from: &str, _data: &[u8]) -> Vec<AppCommand> {
+        Vec::new()
+    }
+}
+
+/// Attaches `count` plain bulk customers to `attach_to`, each pushing
+/// [`BackgroundApp`] cross-traffic toward `target`, and advertises
+/// their /24s. Returns the new node ids.
+fn attach_background(
+    sim: &mut Simulator,
+    count: usize,
+    attach_to: NodeId,
+    target: Ipv4Addr,
+    advertised: &mut Vec<(Ipv4Cidr, NodeId)>,
+) -> Vec<NodeId> {
+    assert!(count <= 250, "at most 250 background flows fit the octet");
+    (0..count)
+        .map(|i| {
+            let addr = Ipv4Addr::new(10, 210, i as u8, 1);
+            let app = Box::new(BackgroundApp { next_seq: 0 });
+            let node = sim.add_node(
+                format!("bg{i}"),
+                Box::new(PlainSourceNode::new(addr, target, 0, format!("bg{i}"), app)),
+            );
+            sim.connect_sym(attach_to, node, edge_link());
+            advertised.push((Ipv4Cidr::new(addr, 24), node));
+            node
+        })
+        .collect()
 }
 
 /// Computes shortest-path tables over the built graph and installs them
@@ -362,8 +544,17 @@ mod tests {
     use nn_core::neutralizer::NeutralizerConfig;
     use nn_netsim::SinkNode;
 
-    /// Builds `spec` with sink endpoints and a real neutralizer.
+    /// Builds `spec` with sink endpoints, a real neutralizer and a
+    /// clean link axis.
     pub(crate) fn build_for_test(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
+        build_with_link(spec, &LinkProfileSpec::Clean)
+    }
+
+    /// Builds `spec` with sink endpoints and a chosen link axis.
+    pub(crate) fn build_with_link(
+        spec: &TopologySpec,
+        link: &LinkProfileSpec,
+    ) -> (Simulator, BuiltTopology) {
         let mut sim = Simulator::new(1);
         let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
         let dyn_pool = config.dyn_pool;
@@ -374,6 +565,7 @@ mod tests {
             neut,
             Box::new(SinkNode::new()),
             dyn_pool,
+            link,
         );
         (sim, built)
     }
@@ -432,14 +624,105 @@ mod tests {
         assert_eq!(TopologySpec::star_default().name(), "star5");
         assert_eq!(TopologySpec::multi_as_default().name(), "multi-as3-d1");
         assert_eq!(TopologySpec::dumbbell_default().name(), "dumbbell-5000k");
+        assert_eq!(
+            TopologySpec::dumbbell_crossed().name(),
+            "dumbbell-5000k-bg2"
+        );
+        assert_eq!(
+            TopologySpec::Star {
+                spokes: 5,
+                background_flows: 3
+            }
+            .name(),
+            "star5-bg3"
+        );
         assert_ne!(
             TopologySpec::Dumbbell {
-                bottleneck_bps: 1_000_000
+                bottleneck_bps: 1_000_000,
+                background_flows: 0
             }
             .name(),
             TopologySpec::dumbbell_default().name(),
             "different bottlenecks must not share a label"
         );
+    }
+
+    /// Cross-traffic actually crosses the bottleneck: with background
+    /// flows attached, the impaired direction carries far more bytes
+    /// than the victim path alone would, and the far-side sink sees it.
+    #[test]
+    fn dumbbell_background_flows_congest_the_bottleneck() {
+        let (mut sim, built) = build_for_test(&TopologySpec::dumbbell_crossed());
+        assert_eq!(built.background.len(), 2);
+        sim.run_until(nn_netsim::SimTime::from_millis(500));
+        let counters = sim.link_counters(built.bottleneck.0, built.bottleneck.1);
+        // 2 × 2 Mbit/s for 0.5 s ≈ 250 KB offered across the bottleneck.
+        assert!(
+            counters.tx_bytes > 100_000,
+            "bottleneck must carry cross traffic: {counters:?}"
+        );
+        let leaf_r_id = built.advertised[5].1;
+        let sink = sim
+            .node_ref::<nn_netsim::SinkNode>(leaf_r_id)
+            .expect("leaf-r sink");
+        assert!(sink.rx_frames > 100, "far-side stub receives the flood");
+    }
+
+    #[test]
+    fn star_background_flows_cross_the_hub_uplink() {
+        let spec = TopologySpec::Star {
+            spokes: 3,
+            background_flows: 2,
+        };
+        let (mut sim, built) = build_for_test(&spec);
+        sim.run_until(nn_netsim::SimTime::from_millis(500));
+        let counters = sim.link_counters(built.bottleneck.0, built.bottleneck.1);
+        assert!(
+            counters.tx_bytes > 100_000,
+            "hub uplink must carry cross traffic: {counters:?}"
+        );
+    }
+
+    /// The link axis lands on the designated bottleneck: a lossy-burst
+    /// profile drops frames there and counts burst episodes.
+    #[test]
+    fn link_axis_applies_to_the_bottleneck_direction() {
+        for spec in [
+            TopologySpec::chain(),
+            TopologySpec::dumbbell_crossed(),
+            TopologySpec::Star {
+                spokes: 3,
+                background_flows: 1,
+            },
+            TopologySpec::multi_as_default(),
+        ] {
+            let lossy = LinkProfileSpec::LossyBurst {
+                p_enter_bad: 0.2,
+                p_exit_bad: 0.2,
+                loss_bad: 1.0,
+            };
+            let (mut sim, built) = build_with_link(&spec, &lossy);
+            // Push traffic across the bottleneck from its head node.
+            for i in 0..200u64 {
+                let frame = nn_packet::build_udp(SRC_ADDR, DST_ADDR, 0, 7, 7, &i.to_be_bytes())
+                    .expect("frame");
+                sim.inject(
+                    nn_netsim::SimTime(i * 1_000_000),
+                    built.bottleneck.0,
+                    // Deliver straight to the head router; it forwards
+                    // toward dst over the impaired direction.
+                    0,
+                    frame,
+                );
+            }
+            sim.run_until(nn_netsim::SimTime::from_secs(2));
+            let counters = sim.link_counters(built.bottleneck.0, built.bottleneck.1);
+            assert!(
+                counters.fault_drops > 0 && counters.burst_episodes > 0,
+                "{}: loss stage must act on the bottleneck: {counters:?}",
+                spec.name()
+            );
+        }
     }
 
     #[test]

@@ -4,12 +4,14 @@
 //! silently measure a black hole instead of a policy.
 
 use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
+use nn_lab::link::LinkProfileSpec;
 use nn_lab::topology::{BuiltTopology, TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
 use nn_netsim::{RouterNode, Simulator, SinkNode};
 use nn_packet::Ipv4Cidr;
 use proptest::prelude::*;
 
-/// Builds `spec` with sink endpoints and a real neutralizer.
+/// Builds `spec` with sink endpoints, a real neutralizer and a clean
+/// link axis.
 fn build(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
     let mut sim = Simulator::new(1);
     let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
@@ -21,6 +23,7 @@ fn build(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
         neut,
         Box::new(SinkNode::new()),
         dyn_pool,
+        &LinkProfileSpec::Clean,
     );
     (sim, built)
 }
@@ -105,8 +108,11 @@ proptest! {
     }
 
     #[test]
-    fn stars_of_any_width_are_connected_and_routed(spokes in 2usize..8) {
-        check(&TopologySpec::Star { spokes })?;
+    fn stars_of_any_width_are_connected_and_routed(
+        spokes in 2usize..8,
+        background_flows in 0usize..4,
+    ) {
+        check(&TopologySpec::Star { spokes, background_flows })?;
     }
 
     #[test]
@@ -119,7 +125,10 @@ proptest! {
     }
 
     #[test]
-    fn dumbbells_are_connected_and_routed(bps in 500_000u64..20_000_000) {
-        check(&TopologySpec::Dumbbell { bottleneck_bps: bps })?;
+    fn dumbbells_are_connected_and_routed(
+        bps in 500_000u64..20_000_000,
+        background_flows in 0usize..4,
+    ) {
+        check(&TopologySpec::Dumbbell { bottleneck_bps: bps, background_flows })?;
     }
 }

@@ -7,7 +7,11 @@
 //! ([`queue`]: drop-tail, DSCP strict priority, RED, token-bucket
 //! policing) and optional fault injection.
 //!
-//! * [`sim`] — the event engine, links and the `Node` trait.
+//! * [`sim`] — the event engine and the `Node` trait.
+//! * [`link`] — the composable link-impairment pipeline: [`LinkProfile`]
+//!   with rate/latency/AQM stages plus loss ([`LossModel`]: Bernoulli or
+//!   Gilbert–Elliott bursts), corruption and bounded-reordering stages;
+//!   the ECN-capable RED stage marks CE instead of dropping.
 //! * [`routing`] — latency-weighted shortest paths with anycast (the
 //!   neutralizer's service address model, §3 of the paper).
 //! * [`policy`] — the discriminatory-ISP adversary: DPI, encrypted-traffic
@@ -22,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod link;
 pub mod nodes;
 pub mod policy;
 pub mod queue;
@@ -30,12 +35,11 @@ pub mod sim;
 pub mod stats;
 pub mod time;
 
+pub use link::{FaultConfig, LinkConfig, LinkProfile, LossModel, QueueKind, StageSpec};
 pub use nodes::{RouterNode, SinkNode};
 pub use policy::{Action, MatchExpr, PolicyEngine, Rule, Verdict};
 pub use queue::{DropTail, DscpPriority, EnqueueResult, Queue, Red, TokenBucket};
 pub use routing::{compute_routes, RouteTable};
-pub use sim::{
-    Context, FaultConfig, IfaceId, LinkConfig, LinkCounters, Node, NodeId, QueueKind, Simulator,
-};
+pub use sim::{Context, IfaceId, LinkCounters, Node, NodeId, Simulator};
 pub use stats::{FlowKey, FlowStats, Stats};
 pub use time::{tx_time, SimTime};

@@ -165,7 +165,7 @@ mod tests {
         let r = sim.add_node("r", Box::new(RouterNode::new("r")));
         let b = sim.add_node("b", Box::new(SinkNode::new()));
         let cfg = LinkConfig::new(1_000_000_000, Duration::from_millis(1));
-        sim.connect_sym(a, r, cfg);
+        sim.connect_sym(a, r, cfg.clone());
         sim.connect_sym(r, b, cfg);
         let prefixes = vec![
             (Ipv4Cidr::new(HOST_A, 24), a),

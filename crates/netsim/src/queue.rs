@@ -6,7 +6,7 @@
 //! — and the discrimination policies need token-bucket policing and RED
 //! for degradation that is throughput-shaped rather than all-or-nothing.
 
-use nn_packet::Ipv4Packet;
+use nn_packet::{ecn, Ipv4Packet};
 use std::collections::VecDeque;
 
 /// A queued frame.
@@ -23,6 +23,9 @@ pub enum EnqueueResult {
     Accepted,
     /// Frame dropped (queue policy).
     Dropped,
+    /// Frame accepted after an ECN CE mark: an ECN-capable AQM signalled
+    /// congestion in-band instead of dropping (RFC 3168).
+    Marked,
 }
 
 /// A drop-policy queue feeding a link serializer.
@@ -148,13 +151,17 @@ impl Queue for DscpPriority {
 }
 
 /// Random Early Detection: drop probability ramps linearly between the
-/// two thresholds, becoming certain above the max.
+/// two thresholds, becoming certain above the max. With
+/// [`Red::with_ecn`], the early ramp marks CE on ECT-capable frames
+/// instead of dropping them (drops still happen above `max_bytes`, and
+/// for frames that are not ECN-capable).
 #[derive(Debug)]
 pub struct Red {
     inner: DropTail,
     min_bytes: usize,
     max_bytes: usize,
     max_prob: f64,
+    ecn_mark: bool,
 }
 
 impl Red {
@@ -168,12 +175,26 @@ impl Red {
             min_bytes,
             max_bytes,
             max_prob,
+            ecn_mark: false,
         }
+    }
+
+    /// Enables or disables CE marking on the early-drop ramp.
+    pub fn with_ecn(mut self, ecn_mark: bool) -> Self {
+        self.ecn_mark = ecn_mark;
+        self
+    }
+
+    /// True when `frame` is an IPv4 packet carrying ECT(0) or ECT(1).
+    fn is_ect_frame(frame: &[u8]) -> bool {
+        Ipv4Packet::new_checked(frame)
+            .map(|p| ecn::is_ect(p.ecn()))
+            .unwrap_or(false)
     }
 }
 
 impl Queue for Red {
-    fn enqueue(&mut self, frame: Vec<u8>, rng_draw: f64) -> EnqueueResult {
+    fn enqueue(&mut self, mut frame: Vec<u8>, rng_draw: f64) -> EnqueueResult {
         let occ = self.inner.len_bytes();
         if occ >= self.max_bytes {
             return EnqueueResult::Dropped;
@@ -181,6 +202,13 @@ impl Queue for Red {
         if occ > self.min_bytes {
             let ramp = (occ - self.min_bytes) as f64 / (self.max_bytes - self.min_bytes) as f64;
             if rng_draw < ramp * self.max_prob {
+                if self.ecn_mark && Self::is_ect_frame(&frame) {
+                    Ipv4Packet::new_unchecked(&mut frame[..]).set_ecn(ecn::CE);
+                    return match self.inner.enqueue(frame, rng_draw) {
+                        EnqueueResult::Accepted => EnqueueResult::Marked,
+                        other => other,
+                    };
+                }
                 return EnqueueResult::Dropped;
             }
         }
@@ -307,6 +335,52 @@ mod tests {
         q.enqueue(vec![0; 200], 0.99);
         assert_eq!(q.len_bytes(), 500);
         assert_eq!(q.enqueue(vec![0; 1], 0.99), EnqueueResult::Dropped);
+    }
+
+    #[test]
+    fn red_ecn_marks_ect_frames_instead_of_dropping() {
+        use nn_packet::ecn;
+        let mut q = Red::new(1000, 100, 500, 1.0).with_ecn(true);
+        let ect_frame = |payload: usize| {
+            let mut f = ip_frame(dscp::AF11, payload);
+            Ipv4Packet::new_unchecked(&mut f[..]).set_ecn(ecn::ECT0);
+            f
+        };
+        // Fill past the ramp start.
+        assert_eq!(q.enqueue(ect_frame(180), 0.0), EnqueueResult::Accepted);
+        // Occupancy 200 ⇒ ramp 0.25; draw 0.1 would drop — ECT gets
+        // marked and accepted instead.
+        assert_eq!(q.enqueue(ect_frame(180), 0.1), EnqueueResult::Marked);
+        // A non-ECT frame in the same spot still drops.
+        assert_eq!(
+            q.enqueue(ip_frame(dscp::AF11, 180), 0.1),
+            EnqueueResult::Dropped
+        );
+        // Fill to the hard limit: even ECT frames drop there.
+        assert_eq!(q.enqueue(ect_frame(80), 0.99), EnqueueResult::Accepted);
+        assert_eq!(q.len_bytes(), 500);
+        assert_eq!(q.enqueue(ect_frame(1), 0.0), EnqueueResult::Dropped);
+        // Dequeued frames carry the mark: first frame clean, second CE.
+        let first = q.dequeue().unwrap().frame;
+        assert_eq!(
+            Ipv4Packet::new_checked(&first[..]).unwrap().ecn(),
+            ecn::ECT0
+        );
+        let second = q.dequeue().unwrap().frame;
+        let ip = Ipv4Packet::new_checked(&second[..]).unwrap();
+        assert_eq!(ip.ecn(), ecn::CE);
+        assert_eq!(ip.dscp(), dscp::AF11, "mark preserves DSCP");
+        assert!(ip.verify_checksum(), "mark refreshes the checksum");
+    }
+
+    #[test]
+    fn red_without_ecn_never_marks() {
+        use nn_packet::ecn;
+        let mut q = Red::new(1000, 100, 500, 1.0);
+        let mut f = ip_frame(dscp::AF11, 180);
+        Ipv4Packet::new_unchecked(&mut f[..]).set_ecn(ecn::ECT0);
+        q.enqueue(f.clone(), 0.0);
+        assert_eq!(q.enqueue(f, 0.1), EnqueueResult::Dropped);
     }
 
     #[test]

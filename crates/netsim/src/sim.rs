@@ -2,13 +2,15 @@
 //!
 //! This is the substitute for the paper's Click/Linux testbed (§4): a
 //! deterministic, seeded, single-threaded event loop moving whole IPv4
-//! frames between nodes over links with bandwidth, propagation delay,
-//! queues and optional fault injection. Determinism matters because every
-//! experiment in EXPERIMENTS.md must be exactly reproducible: all
-//! randomness flows from one seeded RNG, and simultaneous events fire in
-//! submission order.
+//! frames between nodes over links described by [`LinkProfile`]
+//! impairment pipelines (rate shaping, AQM with optional ECN marking,
+//! propagation delay, then loss/corruption/reordering stages).
+//! Determinism matters because every experiment in EXPERIMENTS.md must
+//! be exactly reproducible: all randomness flows from one seeded RNG,
+//! and simultaneous events fire in submission order.
 
-use crate::queue::{DropTail, DscpPriority, EnqueueResult, Queue, Red};
+use crate::link::{LinkProfile, LossModel, StageSpec, StageState};
+use crate::queue::{EnqueueResult, Queue};
 use crate::stats::Stats;
 use crate::time::{tx_time, SimTime};
 use rand::rngs::StdRng;
@@ -17,6 +19,9 @@ use std::any::Any;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::time::Duration;
+
+// Legacy paths: these types lived here before the pipeline redesign.
+pub use crate::link::{FaultConfig, LinkConfig, QueueKind};
 
 /// Index of a node in the simulator.
 pub type NodeId = usize;
@@ -62,75 +67,9 @@ impl Context<'_> {
     }
 }
 
-/// Queue discipline for a link direction.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum QueueKind {
-    /// FIFO tail-drop.
-    DropTail,
-    /// Strict DSCP priority (three bands).
-    DscpPriority,
-    /// Random early detection.
-    Red {
-        /// Early-drop ramp start (bytes).
-        min_bytes: usize,
-        /// Certain-drop threshold (bytes).
-        max_bytes: usize,
-        /// Drop probability at the ramp top.
-        max_prob: f64,
-    },
-}
-
-/// Random fault injection applied as frames leave a link's serializer.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct FaultConfig {
-    /// Probability a frame is silently dropped.
-    pub drop_prob: f64,
-    /// Probability one random byte is flipped.
-    pub corrupt_prob: f64,
-}
-
-/// One direction of a point-to-point link.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LinkConfig {
-    /// Serialization rate in bits per second.
-    pub bandwidth_bps: u64,
-    /// Propagation delay.
-    pub latency: Duration,
-    /// Queue capacity in bytes.
-    pub queue_bytes: usize,
-    /// Queue discipline.
-    pub queue: QueueKind,
-    /// Fault injection.
-    pub fault: FaultConfig,
-}
-
-impl LinkConfig {
-    /// A sensible default: `bandwidth`, `latency`, 256 KiB drop-tail.
-    pub fn new(bandwidth_bps: u64, latency: Duration) -> Self {
-        LinkConfig {
-            bandwidth_bps,
-            latency,
-            queue_bytes: 256 * 1024,
-            queue: QueueKind::DropTail,
-            fault: FaultConfig::default(),
-        }
-    }
-
-    /// Replaces the queue discipline.
-    pub fn with_queue(mut self, kind: QueueKind, capacity_bytes: usize) -> Self {
-        self.queue = kind;
-        self.queue_bytes = capacity_bytes;
-        self
-    }
-
-    /// Adds fault injection.
-    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
-        self.fault = fault;
-        self
-    }
-}
-
-/// Per-direction link counters, readable after a run.
+/// Per-direction link counters, readable after a run. The per-stage
+/// pipeline outcomes (CE marks, burst episodes, reordered frames) fold
+/// in here so experiments can report them without instrumenting nodes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkCounters {
     /// Frames fully serialized onto the wire.
@@ -139,8 +78,19 @@ pub struct LinkCounters {
     pub tx_bytes: u64,
     /// Frames dropped by the queue discipline.
     pub queue_drops: u64,
-    /// Frames dropped or corrupted by fault injection.
+    /// Frames CE-marked by an ECN-capable AQM stage.
+    pub ce_marks: u64,
+    /// Frames dropped by a loss stage (Bernoulli or Gilbert–Elliott).
     pub fault_drops: u64,
+    /// Good → bad transitions of a Gilbert–Elliott loss stage — the
+    /// number of burst-loss episodes the link entered.
+    pub burst_episodes: u64,
+    /// Frames with a byte flipped by a corruption stage (still
+    /// delivered; receivers see the damage as checksum failures).
+    pub corrupted: u64,
+    /// Frames held back by a reordering stage (later frames may
+    /// overtake them).
+    pub reordered: u64,
     /// Frames delivered to the peer node.
     pub delivered: u64,
 }
@@ -148,10 +98,95 @@ pub struct LinkCounters {
 struct LinkDir {
     to_node: NodeId,
     to_iface: IfaceId,
-    config: LinkConfig,
+    profile: LinkProfile,
+    /// Mutable per-stage state, parallel to `profile.stages`.
+    stage_state: Vec<StageState>,
     queue: Box<dyn Queue>,
     busy: bool,
     counters: LinkCounters,
+}
+
+/// What the post-serializer stages decided for one frame.
+struct StageOutcome {
+    /// False when a loss stage consumed the frame.
+    deliver: bool,
+    /// Extra delivery delay injected by reordering stages.
+    extra_delay: Duration,
+}
+
+/// Evaluates the impairment stages for one frame, in order, drawing all
+/// randomness from `rng`. A loss verdict short-circuits the remaining
+/// stages (the frame is gone); stateful stages that already ran keep
+/// their updated state either way.
+fn run_stages(
+    profile: &LinkProfile,
+    state: &mut [StageState],
+    counters: &mut LinkCounters,
+    rng: &mut StdRng,
+    frame: &mut [u8],
+) -> StageOutcome {
+    let mut extra_delay = Duration::ZERO;
+    for (stage, slot) in profile.stages.iter().zip(state.iter_mut()) {
+        match *stage {
+            StageSpec::Loss(LossModel::Bernoulli { prob }) => {
+                if prob > 0.0 && rng.gen::<f64>() < prob {
+                    counters.fault_drops += 1;
+                    return StageOutcome {
+                        deliver: false,
+                        extra_delay,
+                    };
+                }
+            }
+            StageSpec::Loss(LossModel::GilbertElliott {
+                p_enter_bad,
+                p_exit_bad,
+                loss_good,
+                loss_bad,
+            }) => {
+                let StageState::Ge { bad } = slot else {
+                    unreachable!("GE stage paired with stateless slot");
+                };
+                let loss = if *bad { loss_bad } else { loss_good };
+                let dropped = loss > 0.0 && rng.gen::<f64>() < loss;
+                // Advance the chain after the loss draw so dropped
+                // frames still move the state machine forward.
+                let flip: f64 = rng.gen();
+                if *bad {
+                    if flip < p_exit_bad {
+                        *bad = false;
+                    }
+                } else if flip < p_enter_bad {
+                    *bad = true;
+                    counters.burst_episodes += 1;
+                }
+                if dropped {
+                    counters.fault_drops += 1;
+                    return StageOutcome {
+                        deliver: false,
+                        extra_delay,
+                    };
+                }
+            }
+            StageSpec::Corrupt { prob } => {
+                if prob > 0.0 && rng.gen::<f64>() < prob && !frame.is_empty() {
+                    let idx = rng.gen_range(0..frame.len());
+                    frame[idx] ^= 1u8 << rng.gen_range(0..8);
+                    counters.corrupted += 1;
+                }
+            }
+            StageSpec::Reorder { prob, max_extra } => {
+                if prob > 0.0 && rng.gen::<f64>() < prob && !max_extra.is_zero() {
+                    let max_ns = max_extra.as_nanos() as u64;
+                    extra_delay += Duration::from_nanos(rng.gen_range(0..max_ns) + 1);
+                    counters.reordered += 1;
+                }
+            }
+        }
+    }
+    StageOutcome {
+        deliver: true,
+        extra_delay,
+    }
 }
 
 enum EventKind {
@@ -260,8 +295,9 @@ impl Simulator {
         self.dirs.push(LinkDir {
             to_node: b,
             to_iface: iface_b,
-            queue: make_queue(&a_to_b),
-            config: a_to_b,
+            queue: a_to_b.make_queue(),
+            stage_state: a_to_b.initial_state(),
+            profile: a_to_b,
             busy: false,
             counters: LinkCounters::default(),
         });
@@ -269,8 +305,9 @@ impl Simulator {
         self.dirs.push(LinkDir {
             to_node: a,
             to_iface: iface_a,
-            queue: make_queue(&b_to_a),
-            config: b_to_a,
+            queue: b_to_a.make_queue(),
+            stage_state: b_to_a.initial_state(),
+            profile: b_to_a,
             busy: false,
             counters: LinkCounters::default(),
         });
@@ -279,9 +316,9 @@ impl Simulator {
         (iface_a, iface_b)
     }
 
-    /// Connects with the same config in both directions.
+    /// Connects with the same profile in both directions.
     pub fn connect_sym(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (IfaceId, IfaceId) {
-        self.connect(a, b, cfg, cfg)
+        self.connect(a, b, cfg.clone(), cfg)
     }
 
     /// Directed topology edges `(from, iface, to, latency)` — input for
@@ -291,7 +328,7 @@ impl Simulator {
         for (node, ifaces) in self.ifaces.iter().enumerate() {
             for (iface, &dir) in ifaces.iter().enumerate() {
                 let d = &self.dirs[dir];
-                out.push((node, iface, d.to_node, d.config.latency));
+                out.push((node, iface, d.to_node, d.profile.latency));
             }
         }
         out
@@ -463,12 +500,16 @@ impl Simulator {
     }
 
     /// Offers a frame to a link direction: straight to the serializer if
-    /// idle, otherwise through the queue discipline.
+    /// idle, otherwise through the queue discipline (the AQM stage,
+    /// which may drop or CE-mark it).
     fn transmit(&mut self, dir: usize, frame: Vec<u8>) {
         if self.dirs[dir].busy {
             let draw: f64 = self.rng.gen();
             match self.dirs[dir].queue.enqueue(frame, draw) {
                 EnqueueResult::Accepted => {}
+                EnqueueResult::Marked => {
+                    self.dirs[dir].counters.ce_marks += 1;
+                }
                 EnqueueResult::Dropped => {
                     self.dirs[dir].counters.queue_drops += 1;
                 }
@@ -478,32 +519,29 @@ impl Simulator {
         }
     }
 
+    /// Serializes a frame onto the wire and evaluates the impairment
+    /// pipeline at the moment it leaves the serializer.
     fn start_tx(&mut self, dir: usize, mut frame: Vec<u8>) {
-        let d = &mut self.dirs[dir];
+        let now = self.now;
+        let this = &mut *self;
+        let d = &mut this.dirs[dir];
         d.busy = true;
-        let serialization = tx_time(frame.len(), d.config.bandwidth_bps);
+        let serialization = tx_time(frame.len(), d.profile.bandwidth_bps);
         d.counters.tx_frames += 1;
         d.counters.tx_bytes += frame.len() as u64;
-        let done_at = self.now + serialization;
-        let deliver_at = done_at + d.config.latency;
+        let done_at = now + serialization;
         let to_node = d.to_node;
         let to_iface = d.to_iface;
-        // Fault injection at the moment the frame leaves the serializer.
-        let fault = d.config.fault;
-        let mut deliver = true;
-        if fault.drop_prob > 0.0 && self.rng.gen::<f64>() < fault.drop_prob {
-            deliver = false;
-            self.dirs[dir].counters.fault_drops += 1;
-        } else if fault.corrupt_prob > 0.0
-            && self.rng.gen::<f64>() < fault.corrupt_prob
-            && !frame.is_empty()
-        {
-            let idx = self.rng.gen_range(0..frame.len());
-            frame[idx] ^= 1u8 << self.rng.gen_range(0..8);
-            self.dirs[dir].counters.fault_drops += 1;
-        }
-        if deliver {
-            self.dirs[dir].counters.delivered += 1;
+        let outcome = run_stages(
+            &d.profile,
+            &mut d.stage_state,
+            &mut d.counters,
+            &mut this.rng,
+            &mut frame,
+        );
+        let deliver_at = done_at + d.profile.latency + outcome.extra_delay;
+        if outcome.deliver {
+            d.counters.delivered += 1;
             self.push_event(
                 deliver_at,
                 EventKind::Deliver {
@@ -514,18 +552,6 @@ impl Simulator {
             );
         }
         self.push_event(done_at, EventKind::TxDone { dir });
-    }
-}
-
-fn make_queue(cfg: &LinkConfig) -> Box<dyn Queue> {
-    match cfg.queue {
-        QueueKind::DropTail => Box::new(DropTail::new(cfg.queue_bytes)),
-        QueueKind::DscpPriority => Box::new(DscpPriority::new(cfg.queue_bytes)),
-        QueueKind::Red {
-            min_bytes,
-            max_bytes,
-            max_prob,
-        } => Box::new(Red::new(cfg.queue_bytes, min_bytes, max_bytes, max_prob)),
     }
 }
 
@@ -707,7 +733,7 @@ mod tests {
                     drop_prob: 0.3,
                     corrupt_prob: 0.1,
                 });
-            sim.connect(pinger, echo, lossy, lossy);
+            sim.connect(pinger, echo, lossy.clone(), lossy);
             sim.run(1_000_000);
             sim.node_ref::<Pinger>(pinger).unwrap().replies
         };

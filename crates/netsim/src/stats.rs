@@ -30,6 +30,9 @@ pub struct FlowStats {
     pub tx_packets: u64,
     /// Bytes sent.
     pub tx_bytes: u64,
+    /// Delivered packets that arrived carrying an ECN CE mark — the
+    /// congestion signal an ECN-capable AQM wrote on the path.
+    pub ce_marks: u64,
     /// One-way delays of delivered packets, in seconds. Private so the
     /// append-only invariant the percentile cache relies on is enforced
     /// by the module boundary: only [`Stats::flow_rx`] writes here.
@@ -175,6 +178,11 @@ impl Stats {
         f.tx_bytes += bytes as u64;
     }
 
+    /// Records a delivered packet that arrived CE-marked on a flow.
+    pub fn flow_ce(&mut self, key: &FlowKey) {
+        self.flow_mut(key).ce_marks += 1;
+    }
+
     /// Records a packet delivery on a flow.
     pub fn flow_rx(&mut self, key: &FlowKey, bytes: usize, sent_at: SimTime, now: SimTime) {
         let f = self.flow_mut(key);
@@ -219,9 +227,11 @@ mod tests {
         s.flow_tx(&k, 100);
         s.flow_tx(&k, 100);
         s.flow_rx(&k, 100, SimTime::ZERO, SimTime::from_millis(30));
+        s.flow_ce(&k);
         let f = s.flow(&k).unwrap();
         assert_eq!(f.tx_packets, 2);
         assert_eq!(f.rx_packets, 1);
+        assert_eq!(f.ce_marks, 1);
         assert!((f.delivery_ratio() - 0.5).abs() < 1e-12);
         assert!((f.mean_delay() - 0.030).abs() < 1e-9);
     }

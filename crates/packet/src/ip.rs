@@ -110,6 +110,26 @@ pub mod dscp {
     pub const AF11: u8 = 10;
 }
 
+/// Explicit Congestion Notification codepoints (RFC 3168) — the bottom
+/// two bits of the ToS byte. An ECN-capable AQM marks `CE` on packets
+/// carrying `ECT(0)`/`ECT(1)` instead of dropping them.
+pub mod ecn {
+    /// Not ECN-Capable Transport.
+    pub const NOT_ECT: u8 = 0b00;
+    /// ECN-Capable Transport, codepoint 1.
+    pub const ECT1: u8 = 0b01;
+    /// ECN-Capable Transport, codepoint 0.
+    pub const ECT0: u8 = 0b10;
+    /// Congestion Experienced.
+    pub const CE: u8 = 0b11;
+
+    /// True for the two ECN-capable codepoints (a router may mark these
+    /// `CE`; `NOT_ECT` must be dropped instead, and `CE` already is one).
+    pub const fn is_ect(codepoint: u8) -> bool {
+        codepoint == ECT0 || codepoint == ECT1
+    }
+}
+
 const HEADER_LEN: usize = 20;
 
 /// Typed view over an IPv4 header (fixed 20-byte header, no options —
@@ -221,6 +241,14 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
     pub fn set_dscp(&mut self, dscp: u8) {
         let d = self.buffer.as_mut();
         d[1] = (dscp << 2) | (d[1] & 0x3);
+        self.fill_checksum();
+    }
+
+    /// Sets the ECN field (bottom 2 bits of the ToS byte) and refreshes
+    /// the checksum. The DSCP bits are preserved.
+    pub fn set_ecn(&mut self, ecn: u8) {
+        let d = self.buffer.as_mut();
+        d[1] = (d[1] & 0xfc) | (ecn & 0x3);
         self.fill_checksum();
     }
 
@@ -461,6 +489,45 @@ mod tests {
         let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
         pkt.set_dst_addr(Ipv4Addr::new(9, 9, 9, 9));
         assert_eq!(pkt.dscp(), dscp::EXPEDITED);
+    }
+
+    #[test]
+    fn ecn_codepoints_roundtrip() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf).unwrap();
+        for codepoint in [ecn::NOT_ECT, ecn::ECT1, ecn::ECT0, ecn::CE] {
+            let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+            pkt.set_ecn(codepoint);
+            assert_eq!(pkt.ecn(), codepoint);
+            assert!(pkt.verify_checksum(), "checksum refreshed for {codepoint}");
+        }
+        assert!(ecn::is_ect(ecn::ECT0));
+        assert!(ecn::is_ect(ecn::ECT1));
+        assert!(!ecn::is_ect(ecn::NOT_ECT));
+        assert!(!ecn::is_ect(ecn::CE));
+    }
+
+    /// Writing ECN must not clobber the DSCP — the neutralizer's §3.4
+    /// guarantee extends to AQM marking — and vice versa.
+    #[test]
+    fn ecn_and_dscp_setters_preserve_each_other() {
+        let repr = sample_repr();
+        let mut buf = vec![0u8; repr.buffer_len()];
+        repr.emit(&mut buf).unwrap();
+        let mut pkt = Ipv4Packet::new_unchecked(&mut buf[..]);
+        pkt.set_ecn(ecn::ECT0);
+        assert_eq!(pkt.dscp(), dscp::EXPEDITED, "set_ecn keeps DSCP");
+        pkt.set_dscp(dscp::AF11);
+        assert_eq!(pkt.ecn(), ecn::ECT0, "set_dscp keeps ECN");
+        pkt.set_ecn(ecn::CE);
+        assert_eq!(pkt.dscp(), dscp::AF11, "CE mark keeps DSCP");
+        assert_eq!(pkt.ecn(), ecn::CE);
+        assert!(pkt.verify_checksum());
+        // Out-of-range input is masked to the two ECN bits.
+        pkt.set_ecn(0xff);
+        assert_eq!(pkt.ecn(), ecn::CE);
+        assert_eq!(pkt.dscp(), dscp::AF11);
     }
 
     #[test]

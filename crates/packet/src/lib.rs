@@ -26,6 +26,6 @@ pub mod udp;
 
 pub use builder::{build_shim, build_udp, parse_shim, parse_udp, ParsedShim, ParsedUdp};
 pub use error::{PacketError, Result};
-pub use ip::{dscp, proto, Ipv4Addr, Ipv4Cidr, Ipv4Packet, Ipv4Repr};
+pub use ip::{dscp, ecn, proto, Ipv4Addr, Ipv4Cidr, Ipv4Packet, Ipv4Repr};
 pub use shim::{flags as shim_flags, KeyStamp, ShimPacket, ShimRepr, ShimType};
 pub use udp::{UdpPacket, UdpRepr};

@@ -2,7 +2,7 @@
 //! formats: IPv4, UDP and the neutralizer shim.
 
 use nn_packet::{
-    build_shim, build_udp, parse_shim, parse_udp, shim_flags, Ipv4Addr, Ipv4Packet, KeyStamp,
+    build_shim, build_udp, ecn, parse_shim, parse_udp, shim_flags, Ipv4Addr, Ipv4Packet, KeyStamp,
     PacketError, ShimRepr, ShimType,
 };
 
@@ -22,6 +22,27 @@ fn udp_build_parse_roundtrip() {
     let ip = Ipv4Packet::new_checked(&frame[..]).unwrap();
     assert_eq!(ip.dst_addr(), DST);
     assert_eq!(ip.total_len() as usize, frame.len());
+}
+
+/// An ECT(0) mark applied after building — what the host stacks do —
+/// survives parsing, leaves the DSCP intact and keeps the UDP payload
+/// verifiable; a later CE re-mark (the AQM's job) behaves the same.
+#[test]
+fn ecn_marks_survive_udp_build_parse() {
+    let mut frame = build_udp(SRC, DST, 46, 16384, 16384, b"voip frame").unwrap();
+    Ipv4Packet::new_unchecked(&mut frame[..]).set_ecn(ecn::ECT0);
+    let parsed = parse_udp(&frame).unwrap();
+    assert_eq!(parsed.ip.dscp, 46);
+    assert_eq!(parsed.payload, b"voip frame");
+    assert_eq!(
+        Ipv4Packet::new_checked(&frame[..]).unwrap().ecn(),
+        ecn::ECT0
+    );
+
+    Ipv4Packet::new_unchecked(&mut frame[..]).set_ecn(ecn::CE);
+    let remarked = parse_udp(&frame).unwrap();
+    assert_eq!(remarked.ip.dscp, 46, "CE mark must not clobber DSCP");
+    assert_eq!(Ipv4Packet::new_checked(&frame[..]).unwrap().ecn(), ecn::CE);
 }
 
 #[test]
