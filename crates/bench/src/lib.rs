@@ -13,6 +13,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// One measured benchmark.
@@ -54,6 +55,22 @@ pub fn iters(default: u64) -> u64 {
     }
 }
 
+/// The shared result sink [`bench`] and [`report_result`] feed, so a
+/// driver (the `nn-bench` binary's `--json` mode) can collect every
+/// measurement of a suite run without threading a collector through all
+/// the suite functions.
+fn registry() -> &'static Mutex<Vec<BenchResult>> {
+    static REGISTRY: OnceLock<Mutex<Vec<BenchResult>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Drains every result recorded since the last call (or process start).
+/// The `nn-bench` binary calls this after each suite to attribute
+/// results to it.
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *registry().lock().expect("bench registry"))
+}
+
 /// Times `f` over `iters` iterations (after `iters/10 + 1` warm-up runs)
 /// and prints one result line.
 pub fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) -> BenchResult {
@@ -72,7 +89,18 @@ pub fn bench<F: FnMut()>(name: &str, iters: u64, mut f: F) -> BenchResult {
         ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
     };
     print_result(&result);
+    registry()
+        .lock()
+        .expect("bench registry")
+        .push(result.clone());
     result
+}
+
+/// Prints one aligned result line and records it in the registry — for
+/// suites that time a loop by hand instead of going through [`bench`].
+pub fn report_result(r: &BenchResult) {
+    print_result(r);
+    registry().lock().expect("bench registry").push(r.clone());
 }
 
 /// Prints one aligned result line.

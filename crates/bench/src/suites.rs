@@ -6,7 +6,7 @@
 //! bench` runs. Iteration counts honor `NN_BENCH_ITERS` (see
 //! [`crate::iters`]).
 
-use crate::{bench, header, iters, print_result, BenchResult};
+use crate::{bench, header, iters, report_result, BenchResult};
 use nn_core::pushback::{PushbackConfig, PushbackEngine};
 use nn_crypto::factor::{factor_semiprime, rho_ops_estimate};
 use nn_crypto::kdf::MasterKey;
@@ -186,6 +186,82 @@ pub fn data_path() {
     bench("e2e_record_open_160B", n / 10, || {
         black_box(rx.open_record(black_box(&rec)).unwrap());
     });
+
+    // The *simulator's* per-frame data-path cost: 1000 UDP frames pushed
+    // through two forwarding routers to a sink — engine event handling,
+    // link serialization, queueing and router parsing, with no crypto.
+    // This is the hot loop the frame pool and the timing-wheel scheduler
+    // target; divide ns/iter by 1000 for the per-frame cost.
+    sim_data_path();
+}
+
+/// Blasts 1000 small UDP frames through `src → r1 → r2 → sink`.
+fn sim_data_path() {
+    use nn_netsim::{
+        compute_routes, Context, IfaceId, LinkConfig, Node, RouterNode, Simulator, SinkNode,
+    };
+    use nn_packet::{build_udp, Ipv4Cidr};
+    use std::time::Duration;
+
+    const FRAMES: u64 = 1000;
+    const SRC: Ipv4Addr = Ipv4Addr::new(10, 0, 1, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(10, 0, 2, 1);
+
+    /// Sends `FRAMES` copies of one prebuilt frame at start, out of
+    /// pooled buffers.
+    struct Blast {
+        template: Vec<u8>,
+    }
+    impl Node for Blast {
+        fn on_start(&mut self, ctx: &mut Context) {
+            for _ in 0..FRAMES {
+                let pkt = ctx.alloc_copy(&self.template);
+                ctx.send(0, pkt);
+            }
+        }
+        fn on_packet(&mut self, ctx: &mut Context, _: IfaceId, frame: nn_netsim::FrameBuf) {
+            ctx.recycle(frame);
+        }
+    }
+
+    let template = build_udp(SRC, DST, 0, 4000, 4000, &[0x5au8; 100]).expect("frame builds");
+    let mut pool = nn_netsim::FramePool::new();
+    let mut run = || {
+        let mut sim = Simulator::new(1);
+        sim.install_pool(std::mem::take(&mut pool));
+        let src = sim.add_node(
+            "src",
+            Box::new(Blast {
+                template: template.clone(),
+            }),
+        );
+        let r1 = sim.add_node("r1", Box::new(RouterNode::new("r1")));
+        let r2 = sim.add_node("r2", Box::new(RouterNode::new("r2")));
+        let sink = sim.add_node("sink", Box::new(SinkNode::new()));
+        let cfg = LinkConfig::new(1_000_000_000, Duration::from_micros(10));
+        sim.connect_sym(src, r1, cfg.clone());
+        sim.connect_sym(r1, r2, cfg.clone());
+        sim.connect_sym(r2, sink, cfg);
+        let prefixes = vec![
+            (Ipv4Cidr::new(SRC, 24), src),
+            (Ipv4Cidr::new(DST, 24), sink),
+        ];
+        let tables = compute_routes(sim.edges(), &prefixes, sim.node_count());
+        for r in [r1, r2] {
+            sim.node_mut::<RouterNode>(r)
+                .unwrap()
+                .set_routes(tables[&r].clone());
+        }
+        sim.run_until(nn_netsim::SimTime::from_secs(60));
+        let delivered = sim.node_ref::<SinkNode>(sink).unwrap().rx_frames;
+        assert_eq!(delivered, FRAMES, "clean chain delivers everything");
+        let n = sim.events_processed();
+        pool = sim.take_pool();
+        n
+    };
+    bench("sim_forward_2router_1kframes", iters(50), || {
+        black_box(run());
+    });
 }
 
 /// Pushback admission cost (§3.6): rejecting a flooded aggregate must
@@ -244,7 +320,7 @@ pub fn factoring() {
     for _ in 0..reps {
         black_box(factor_semiprime(black_box(n62), 1 << 32).unwrap());
     }
-    print_result(&BenchResult {
+    report_result(&BenchResult {
         name: "pollard_rho_62bit".into(),
         iters: reps,
         ns_per_iter: start.elapsed().as_nanos() as f64 / reps as f64,
@@ -398,14 +474,19 @@ pub fn link_pipeline() {
     impl Node for Blast {
         fn on_start(&mut self, ctx: &mut Context) {
             for seq in 0..FRAMES {
-                ctx.send(0, seq.to_be_bytes().to_vec());
+                let pkt = ctx.alloc_copy(&seq.to_be_bytes());
+                ctx.send(0, pkt);
             }
         }
-        fn on_packet(&mut self, _: &mut Context, _: IfaceId, _: Vec<u8>) {}
+        fn on_packet(&mut self, ctx: &mut Context, _: IfaceId, frame: nn_netsim::FrameBuf) {
+            ctx.recycle(frame);
+        }
     }
 
-    let run = |profile: &LinkProfile| {
+    let mut pool = nn_netsim::FramePool::new();
+    let mut run = |profile: &LinkProfile| {
         let mut sim = Simulator::new(1);
+        sim.install_pool(std::mem::take(&mut pool));
         let tx = sim.add_node("tx", Box::new(Blast));
         let rx = sim.add_node("rx", Box::new(SinkNode::new()));
         sim.connect(
@@ -415,7 +496,9 @@ pub fn link_pipeline() {
             LinkProfile::new(1_000_000_000, Duration::from_micros(1)),
         );
         sim.run_until(SimTime::from_secs(60));
-        sim.events_processed()
+        let n = sim.events_processed();
+        pool = sim.take_pool();
+        n
     };
 
     let base = || LinkProfile::new(1_000_000_000, Duration::from_micros(10));

@@ -17,10 +17,10 @@ use crate::wire::{KeyFetchReply, KeyFetchReq, PushbackMsg};
 use nn_crypto::kdf::MasterKey;
 use nn_crypto::sealed::AddrSealer;
 use nn_crypto::RsaPublicKey;
-use nn_netsim::{Context, IfaceId, Node, RouteTable};
+use nn_netsim::{Context, FrameBuf, IfaceId, Node, RouteTable};
 use nn_packet::{
-    build_shim, parse_shim, shim_flags, Ipv4Addr, Ipv4Cidr, Ipv4Packet, KeyStamp, ShimRepr,
-    ShimType,
+    build_shim, build_shim_into, parse_shim, shim_flags, Ipv4Addr, Ipv4Cidr, Ipv4Packet, KeyStamp,
+    ShimRepr, ShimType,
 };
 use rand::Rng;
 
@@ -29,9 +29,8 @@ use rand::Rng;
 /// a congestion mark (CE) written by an AQM upstream of the neutralizer
 /// must survive the rewrite, or the box would silently break ECN
 /// end-to-end (RFC 3168 forbids middleboxes clearing CE).
-fn preserve_ecn(incoming_ecn: u8, mut rebuilt: Vec<u8>) -> Vec<u8> {
-    Ipv4Packet::new_unchecked(&mut rebuilt[..]).set_ecn(incoming_ecn);
-    rebuilt
+fn preserve_ecn(incoming_ecn: u8, rebuilt: &mut FrameBuf) {
+    Ipv4Packet::new_unchecked(rebuilt.as_mut_slice()).set_ecn(incoming_ecn);
 }
 
 /// Timer token for the pushback window tick.
@@ -194,15 +193,48 @@ impl NeutralizerNode {
         addr == self.config.anycast || self.config.dyn_pool.contains(addr)
     }
 
-    fn route_out(&mut self, ctx: &mut Context, frame: Vec<u8>) {
+    fn route_out(&mut self, ctx: &mut Context, frame: FrameBuf) {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else {
             self.stat(ctx, "emit_parse_error");
+            ctx.recycle(frame);
             return;
         };
         match self.routes.lookup(ip.dst_addr()) {
             Some(iface) => ctx.send(iface, frame),
-            None => self.stat(ctx, "no_route"),
+            None => {
+                self.stat(ctx, "no_route");
+                ctx.recycle(frame);
+            }
         }
+    }
+
+    /// Builds a shim frame into a pooled buffer and routes it out,
+    /// optionally restoring an ECN codepoint onto the rewrite. The
+    /// rewrite path reuses recycled buffers instead of rebuilding frames
+    /// from scratch — the §4 "commodity hardware" cost story depends on
+    /// the per-packet path staying off the allocator. Returns false when
+    /// the frame could not be built.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_shim(
+        &mut self,
+        ctx: &mut Context,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        dscp: u8,
+        shim: &ShimRepr,
+        payload: &[u8],
+        ecn: Option<u8>,
+    ) -> bool {
+        let Some(mut out) =
+            ctx.alloc_built(|buf| build_shim_into(buf, src, dst, dscp, shim, payload))
+        else {
+            return false;
+        };
+        if let Some(codepoint) = ecn {
+            preserve_ecn(codepoint, &mut out);
+        }
+        self.route_out(ctx, out);
+        true
     }
 
     /// §3.2 key setup: one cheap RSA encryption (or an offload forward).
@@ -242,11 +274,16 @@ impl NeutralizerNode {
                 addr_block: ShimRepr::EMPTY_BLOCK,
                 stamp: Some(KeyStamp { nonce, key: ks }),
             };
-            if let Ok(out) =
-                build_shim(self.config.anycast, helper, parsed.ip.dscp, &shim, &payload)
-            {
+            if self.emit_shim(
+                ctx,
+                self.config.anycast,
+                helper,
+                parsed.ip.dscp,
+                &shim,
+                &payload,
+                None,
+            ) {
                 self.stat(ctx, "setup_offloaded");
-                self.route_out(ctx, out);
             }
             return;
         }
@@ -268,15 +305,15 @@ impl NeutralizerNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp: None,
         };
-        if let Ok(out) = build_shim(
+        self.emit_shim(
+            ctx,
             self.config.anycast,
             parsed.ip.src,
             parsed.ip.dscp,
             &shim,
             &ct,
-        ) {
-            self.route_out(ctx, out);
-        }
+            None,
+        );
     }
 
     /// Offload return leg: a helper's KeyReply carries the client address
@@ -294,15 +331,16 @@ impl NeutralizerNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp: None,
         };
-        if let Ok(out) = build_shim(
+        if self.emit_shim(
+            ctx,
             self.config.anycast,
             client,
             parsed.ip.dscp,
             &shim,
             parsed.payload,
+            None,
         ) {
             self.stat(ctx, "offload_reply_forwarded");
-            self.route_out(ctx, out);
         }
     }
 
@@ -353,15 +391,16 @@ impl NeutralizerNode {
         // DSCP is preserved (§3.4): tiered service still works. So is
         // the ECN codepoint — upstream CE marks reach the destination.
         let ecn_in = Ipv4Packet::new_checked(frame).map(|p| p.ecn()).unwrap_or(0);
-        if let Ok(out) = build_shim(
+        if self.emit_shim(
+            ctx,
             parsed.ip.src,
             real_dst,
             parsed.ip.dscp,
             &shim,
             parsed.payload,
+            Some(ecn_in),
         ) {
             self.stat(ctx, "data_forwarded");
-            self.route_out(ctx, preserve_ecn(ecn_in, out));
         }
     }
 
@@ -406,15 +445,16 @@ impl NeutralizerNode {
         // DSCP and ECN survive the anonymizing rewrite, like the
         // forward path.
         let ecn_in = Ipv4Packet::new_checked(frame).map(|p| p.ecn()).unwrap_or(0);
-        if let Ok(out) = build_shim(
+        if self.emit_shim(
+            ctx,
             visible_src,
             initiator,
             parsed.ip.dscp,
             &shim,
             parsed.payload,
+            Some(ecn_in),
         ) {
             self.stat(ctx, "return_anonymized");
-            self.route_out(ctx, preserve_ecn(ecn_in, out));
         }
     }
 
@@ -452,15 +492,16 @@ impl NeutralizerNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp: None,
         };
-        if let Ok(out) = build_shim(
+        if self.emit_shim(
+            ctx,
             self.config.anycast,
             parsed.ip.src,
             parsed.ip.dscp,
             &shim,
             &reply.to_bytes(),
+            None,
         ) {
             self.stat(ctx, "fetch_served");
-            self.route_out(ctx, out);
         }
     }
 }
@@ -476,9 +517,10 @@ impl Node for NeutralizerNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: Vec<u8>) {
+    fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: FrameBuf) {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else {
             self.stat(ctx, "parse_error");
+            ctx.recycle(frame);
             return;
         };
         let (src, dst, protocol) = (ip.src_addr(), ip.dst_addr(), ip.protocol());
@@ -491,14 +533,15 @@ impl Node for NeutralizerNode {
         }
         let Ok(shim_view) = nn_packet::ShimPacket::new_checked(&frame[20..]) else {
             self.stat(ctx, "shim_parse_error");
+            ctx.recycle(frame);
             return;
         };
         match shim_view.shim_type() {
             ShimType::KeySetup if self.is_service_addr(dst) => {
-                self.handle_key_setup(ctx, iface, &frame)
+                self.handle_key_setup(ctx, iface, &frame);
             }
             ShimType::KeyReply if self.in_domain(src) => {
-                self.handle_key_reply_from_inside(ctx, &frame)
+                self.handle_key_reply_from_inside(ctx, &frame);
             }
             ShimType::Data if self.is_service_addr(dst) => self.handle_data(ctx, &frame),
             ShimType::Return if self.is_service_addr(dst) => self.handle_return(ctx, &frame),
@@ -508,8 +551,12 @@ impl Node for NeutralizerNode {
                 // neutralizer, or replies flowing outward).
                 self.stat(ctx, "shim_transit");
                 self.route_out(ctx, frame);
+                return;
             }
         }
+        // Every handled (non-transit) frame terminates at this box; its
+        // buffer seeds the pool the reply was drawn from.
+        ctx.recycle(frame);
     }
 
     fn on_timer(&mut self, ctx: &mut Context, token: u64) {

@@ -16,8 +16,10 @@ use crate::wire::{DnsMessage, Rcode};
 use crate::zone::{Lookup, ZoneStore};
 use nn_crypto::e2e;
 use nn_crypto::{E2eEnvelope, E2eSession, RsaKeypair};
-use nn_netsim::{Context, IfaceId, Node};
-use nn_packet::{build_udp, parse_udp, Ipv4Addr};
+use nn_netsim::{Context, FrameBuf, IfaceId, Node};
+#[cfg(test)]
+use nn_packet::build_udp;
+use nn_packet::{build_udp_into, parse_udp, Ipv4Addr};
 
 /// Well-known plain DNS port.
 pub const DNS_PORT: u16 = 53;
@@ -63,72 +65,92 @@ impl DnsServerNode {
             Lookup::NxDomain => query.response(Rcode::NxDomain, vec![]),
         }
     }
+
+    /// Serves one port-853 query: open the envelope, answer, seal the
+    /// response with the recovered session key. Returns the reply frame.
+    fn answer_encrypted(
+        &mut self,
+        ctx: &mut Context,
+        udp: &nn_packet::ParsedUdp<'_>,
+    ) -> Option<FrameBuf> {
+        let Some(keypair) = &self.keypair else {
+            ctx.stats
+                .count(&format!("{}.encrypted_unsupported", self.stats_name));
+            return None;
+        };
+        let Ok(envelope) = E2eEnvelope::from_bytes(udp.payload) else {
+            ctx.stats
+                .count(&format!("{}.bad_envelope", self.stats_name));
+            return None;
+        };
+        let Ok((inner, session_key)) = e2e::open(&keypair.private, &envelope) else {
+            ctx.stats
+                .count(&format!("{}.envelope_auth_fail", self.stats_name));
+            return None;
+        };
+        let Ok(query) = DnsMessage::decode(&inner) else {
+            ctx.stats.count(&format!("{}.bad_query", self.stats_name));
+            return None;
+        };
+        ctx.stats
+            .count(&format!("{}.encrypted_query", self.stats_name));
+        let resp = self.answer(&query);
+        let mut session = E2eSession::new(&session_key, false);
+        let record = session.seal_record(&resp.encode());
+        ctx.alloc_built(|buf| {
+            build_udp_into(
+                buf,
+                self.addr,
+                udp.ip.src,
+                udp.ip.dscp,
+                ENCRYPTED_DNS_PORT,
+                udp.src_port,
+                &record.to_bytes(),
+            )
+        })
+    }
 }
 
 impl Node for DnsServerNode {
-    fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: Vec<u8>) {
-        let Ok(udp) = parse_udp(&frame) else {
-            ctx.stats.count(&format!("{}.bad_frame", self.stats_name));
-            return;
-        };
-        match udp.dst_port {
-            DNS_PORT => {
-                let Ok(query) = DnsMessage::decode(udp.payload) else {
-                    ctx.stats.count(&format!("{}.bad_query", self.stats_name));
-                    return;
-                };
-                ctx.stats.count(&format!("{}.plain_query", self.stats_name));
-                let resp = self.answer(&query);
-                if let Ok(out) = build_udp(
-                    self.addr,
-                    udp.ip.src,
-                    udp.ip.dscp,
-                    DNS_PORT,
-                    udp.src_port,
-                    &resp.encode(),
-                ) {
-                    ctx.send(iface, out);
+    fn on_packet(&mut self, ctx: &mut Context, iface: IfaceId, frame: FrameBuf) {
+        let mut reply: Option<FrameBuf> = None;
+        match parse_udp(&frame) {
+            Err(_) => {
+                ctx.stats.count(&format!("{}.bad_frame", self.stats_name));
+            }
+            Ok(udp) => match udp.dst_port {
+                DNS_PORT => {
+                    if let Ok(query) = DnsMessage::decode(udp.payload) {
+                        ctx.stats.count(&format!("{}.plain_query", self.stats_name));
+                        let resp = self.answer(&query);
+                        reply = ctx.alloc_built(|buf| {
+                            build_udp_into(
+                                buf,
+                                self.addr,
+                                udp.ip.src,
+                                udp.ip.dscp,
+                                DNS_PORT,
+                                udp.src_port,
+                                &resp.encode(),
+                            )
+                        });
+                    } else {
+                        ctx.stats.count(&format!("{}.bad_query", self.stats_name));
+                    }
                 }
-            }
-            ENCRYPTED_DNS_PORT => {
-                let Some(keypair) = &self.keypair else {
-                    ctx.stats
-                        .count(&format!("{}.encrypted_unsupported", self.stats_name));
-                    return;
-                };
-                let Ok(envelope) = E2eEnvelope::from_bytes(udp.payload) else {
-                    ctx.stats
-                        .count(&format!("{}.bad_envelope", self.stats_name));
-                    return;
-                };
-                let Ok((inner, session_key)) = e2e::open(&keypair.private, &envelope) else {
-                    ctx.stats
-                        .count(&format!("{}.envelope_auth_fail", self.stats_name));
-                    return;
-                };
-                let Ok(query) = DnsMessage::decode(&inner) else {
-                    ctx.stats.count(&format!("{}.bad_query", self.stats_name));
-                    return;
-                };
-                ctx.stats
-                    .count(&format!("{}.encrypted_query", self.stats_name));
-                let resp = self.answer(&query);
-                let mut session = E2eSession::new(&session_key, false);
-                let record = session.seal_record(&resp.encode());
-                if let Ok(out) = build_udp(
-                    self.addr,
-                    udp.ip.src,
-                    udp.ip.dscp,
-                    ENCRYPTED_DNS_PORT,
-                    udp.src_port,
-                    &record.to_bytes(),
-                ) {
-                    ctx.send(iface, out);
+                ENCRYPTED_DNS_PORT => {
+                    reply = self.answer_encrypted(ctx, &udp);
                 }
-            }
-            _ => {
-                ctx.stats.count(&format!("{}.wrong_port", self.stats_name));
-            }
+                _ => {
+                    ctx.stats.count(&format!("{}.wrong_port", self.stats_name));
+                }
+            },
+        }
+        // The query frame terminates here either way; its buffer feeds
+        // the next reply.
+        ctx.recycle(frame);
+        if let Some(out) = reply {
+            ctx.send(iface, out);
         }
     }
 }

@@ -18,7 +18,7 @@ use crate::workload::WorkloadSpec;
 use nn_core::app::ScriptedApp;
 use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
 use nn_dns::{rtype, DnsCache, DnsName, Lookup, NeutInfo, Record, RecordData, ZoneStore};
-use nn_netsim::{FlowKey, Node, RouterNode, SimTime, Simulator};
+use nn_netsim::{Node, RouterNode, SimTime, Simulator};
 use nn_packet::Ipv4Cidr;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -239,6 +239,20 @@ fn derive_master_key(seed: u64) -> [u8; 16] {
 
 /// Runs one cell to completion and extracts its report.
 pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
+    let mut pool = nn_netsim::FramePool::new();
+    run_cell_with_pool(spec, tuning, &mut pool)
+}
+
+/// [`run_cell`] with a caller-held frame pool: a matrix worker thread
+/// passes the same pool to every cell it runs, so cell N+1's traffic
+/// reuses the buffers cell N recycled instead of re-growing a freelist
+/// per simulation. Results are identical either way — the pool is an
+/// allocator, not state.
+pub fn run_cell_with_pool(
+    spec: &CellSpec,
+    tuning: &CellTuning,
+    pool: &mut nn_netsim::FramePool,
+) -> CellReport {
     let flow = spec.workload.name();
     // §3.1 bootstrap — only neutralized cells mint the destination's
     // end-to-end keypair and resolve its NEUT record; plain transports
@@ -267,6 +281,7 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
     });
 
     let mut sim = Simulator::new(spec.seed);
+    sim.install_pool(std::mem::take(pool));
     let schedule = spec.workload.schedule(tuning.duration);
     let app = Box::new(ScriptedApp::new(DST_NAME, schedule));
 
@@ -369,8 +384,7 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
     }
     counters.sort();
 
-    let key = FlowKey::new(flow);
-    let flows = match sim.stats().flow(&key) {
+    let flows = match sim.stats().flow(flow) {
         Some(fs) => vec![CellFlow {
             flow: flow.to_string(),
             tx_packets: fs.tx_packets,
@@ -385,6 +399,9 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
         None => Vec::new(),
     };
 
+    let events = sim.events_processed();
+    *pool = sim.take_pool();
+
     CellReport {
         seed: spec.seed,
         flows,
@@ -392,7 +409,7 @@ pub fn run_cell(spec: &CellSpec, tuning: &CellTuning) -> CellReport {
         verified_return_blocks,
         policy_drops,
         counters,
-        events: sim.events_processed(),
+        events,
     }
 }
 

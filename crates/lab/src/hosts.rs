@@ -21,9 +21,10 @@ use nn_core::wire::{InnerPayload, TransportMsg};
 use nn_crypto::e2e;
 use nn_crypto::sealed::AddrSealer;
 use nn_crypto::{Cmac, E2eSession, RsaKeypair};
-use nn_netsim::{Context, FlowKey, IfaceId, Node, SimTime};
+use nn_netsim::{Context, FrameBuf, IfaceId, Node, SimTime};
 use nn_packet::{
-    build_shim, build_udp, ecn, parse_shim, parse_udp, Ipv4Addr, Ipv4Packet, ShimRepr, ShimType,
+    build_shim_into, build_udp_into, ecn, parse_shim, parse_udp, Ipv4Addr, Ipv4Packet, ShimRepr,
+    ShimType,
 };
 use rand::Rng;
 use std::collections::HashMap;
@@ -43,9 +44,37 @@ pub const APP_PORT: u16 = 16384;
 /// Marks an outgoing frame ECT(0): both host stacks model ECN-capable
 /// transports, so an ECN-enabled AQM on the path can CE-mark their
 /// packets instead of dropping them. The DSCP is untouched (§3.4).
-fn stamp_ect(mut frame: Vec<u8>) -> Vec<u8> {
-    Ipv4Packet::new_unchecked(&mut frame[..]).set_ecn(ecn::ECT0);
-    frame
+fn stamp_ect(frame: &mut FrameBuf) {
+    Ipv4Packet::new_unchecked(frame.as_mut_slice()).set_ecn(ecn::ECT0);
+}
+
+/// Builds `IP(UDP(payload))` into a pooled buffer, ECT(0)-stamped.
+/// `None` (plus a counter) when the payload cannot fit a frame.
+fn pooled_udp(
+    ctx: &mut Context,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    dscp: u8,
+    payload: &[u8],
+) -> Option<FrameBuf> {
+    let mut pkt =
+        ctx.alloc_built(|buf| build_udp_into(buf, src, dst, dscp, APP_PORT, APP_PORT, payload))?;
+    stamp_ect(&mut pkt);
+    Some(pkt)
+}
+
+/// Builds `IP(SHIM(payload))` into a pooled buffer, ECT(0)-stamped.
+fn pooled_shim(
+    ctx: &mut Context,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    dscp: u8,
+    shim: &ShimRepr,
+    payload: &[u8],
+) -> Option<FrameBuf> {
+    let mut pkt = ctx.alloc_built(|buf| build_shim_into(buf, src, dst, dscp, shim, payload))?;
+    stamp_ect(&mut pkt);
+    Some(pkt)
 }
 
 /// Records a CE-marked delivery against `flow` (receiver-side ECN
@@ -54,7 +83,7 @@ fn stamp_ect(mut frame: Vec<u8>) -> Vec<u8> {
 fn note_ce(ctx: &mut Context, frame: &[u8], flow: &str) {
     if let Ok(ip) = Ipv4Packet::new_checked(frame) {
         if ip.ecn() == ecn::CE {
-            ctx.stats.flow_ce(&FlowKey::new(flow));
+            ctx.stats.flow_ce(flow);
         }
     }
 }
@@ -112,8 +141,7 @@ impl AppDriver {
         let cmds = self.app.poll(ctx.now, ctx.rng);
         let mut frames = Vec::with_capacity(cmds.len());
         for cmd in cmds {
-            ctx.stats
-                .flow_tx(&FlowKey::new(self.flow.as_str()), cmd.data.len());
+            ctx.stats.flow_tx(self.flow.as_str(), cmd.data.len());
             frames.push(encode_app_frame(&self.flow, ctx.now, &cmd.data));
         }
         if let Some(next) = self.app.next_wake(ctx.now) {
@@ -134,8 +162,7 @@ impl AppDriver {
         let cmds = self.app.on_receive(ctx.now, "peer", data);
         let mut frames = Vec::with_capacity(cmds.len());
         for cmd in cmds {
-            ctx.stats
-                .flow_tx(&FlowKey::new(self.flow.as_str()), cmd.data.len());
+            ctx.stats.flow_tx(self.flow.as_str(), cmd.data.len());
             frames.push(encode_app_frame(&self.flow, ctx.now, &cmd.data));
         }
         Some(frames)
@@ -176,11 +203,11 @@ impl PlainSourceNode {
 
     fn flush(&mut self, ctx: &mut Context) {
         for frame in self.driver.poll(ctx) {
-            match build_udp(self.addr, self.dst, self.dscp, APP_PORT, APP_PORT, &frame) {
-                Ok(pkt) => ctx.send(0, stamp_ect(pkt)),
+            match pooled_udp(ctx, self.addr, self.dst, self.dscp, &frame) {
+                Some(pkt) => ctx.send(0, pkt),
                 // flow_tx already counted this packet: record that it
                 // never left, so 0% delivery is not misread as loss.
-                Err(_) => ctx.stats.count("source.build_fail"),
+                None => ctx.stats.count("source.build_fail"),
             }
         }
     }
@@ -197,18 +224,19 @@ impl Node for PlainSourceNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: Vec<u8>) {
-        let Ok(parsed) = parse_udp(&frame) else {
-            return;
-        };
-        let Some(reactions) = self.driver.on_reply(ctx, parsed.payload) else {
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: FrameBuf) {
+        let reactions = parse_udp(&frame)
+            .ok()
+            .and_then(|parsed| self.driver.on_reply(ctx, parsed.payload));
+        ctx.recycle(frame);
+        let Some(reactions) = reactions else {
             return;
         };
         self.replies += 1;
         for frame in reactions {
-            match build_udp(self.addr, self.dst, self.dscp, APP_PORT, APP_PORT, &frame) {
-                Ok(pkt) => ctx.send(0, stamp_ect(pkt)),
-                Err(_) => ctx.stats.count("source.build_fail"),
+            match pooled_udp(ctx, self.addr, self.dst, self.dscp, &frame) {
+                Some(pkt) => ctx.send(0, pkt),
+                None => ctx.stats.count("source.build_fail"),
             }
         }
     }
@@ -235,28 +263,33 @@ impl PlainServerNode {
 }
 
 impl Node for PlainServerNode {
-    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: Vec<u8>) {
-        let Ok(parsed) = parse_udp(&frame) else {
-            return;
-        };
-        let Some((flow, sent, data)) = decode_app_frame(parsed.payload) else {
-            return;
-        };
-        self.rx_frames += 1;
-        ctx.stats
-            .flow_rx(&FlowKey::new(flow), data.len(), sent, ctx.now);
-        note_ce(ctx, &frame, flow);
-        if self.echo {
-            if let Ok(reply) = build_udp(
-                self.addr,
-                parsed.ip.src,
-                parsed.ip.dscp,
-                APP_PORT,
-                APP_PORT,
-                parsed.payload,
-            ) {
-                ctx.send(0, stamp_ect(reply));
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: FrameBuf) {
+        let mut reply: Option<FrameBuf> = None;
+        {
+            let Ok(parsed) = parse_udp(&frame) else {
+                ctx.recycle(frame);
+                return;
+            };
+            let Some((flow, sent, data)) = decode_app_frame(parsed.payload) else {
+                ctx.recycle(frame);
+                return;
+            };
+            self.rx_frames += 1;
+            ctx.stats.flow_rx(flow, data.len(), sent, ctx.now);
+            note_ce(ctx, &frame, flow);
+            if self.echo {
+                reply = pooled_udp(
+                    ctx,
+                    self.addr,
+                    parsed.ip.src,
+                    parsed.ip.dscp,
+                    parsed.payload,
+                );
             }
+        }
+        ctx.recycle(frame);
+        if let Some(pkt) = reply {
+            ctx.send(0, pkt);
         }
     }
 }
@@ -366,17 +399,18 @@ impl NeutralizedSourceNode {
             addr_block: est.sealed_dst,
             stamp: None,
         };
-        match build_shim(
+        match pooled_shim(
+            ctx,
             self.addr,
             self.bootstrap.neutralizer,
             self.dscp,
             &shim,
             &msg.to_bytes(),
         ) {
-            Ok(pkt) => ctx.send(0, stamp_ect(pkt)),
+            Some(pkt) => ctx.send(0, pkt),
             // flow_tx already counted this packet: record that it never
             // left, so 0% delivery is not misread as loss.
-            Err(_) => ctx.stats.count("source.build_fail"),
+            None => ctx.stats.count("source.build_fail"),
         }
     }
 
@@ -401,14 +435,16 @@ impl NeutralizedSourceNode {
             addr_block: ShimRepr::EMPTY_BLOCK,
             stamp: None,
         };
-        if let Ok(pkt) = build_shim(
+        let wire = kp.public.to_wire();
+        if let Some(pkt) = pooled_shim(
+            ctx,
             self.addr,
             self.bootstrap.neutralizer,
             self.dscp,
             &shim,
-            &kp.public.to_wire(),
+            &wire,
         ) {
-            ctx.send(0, stamp_ect(pkt));
+            ctx.send(0, pkt);
         }
         ctx.set_timer(SETUP_RETRY_INTERVAL, TOKEN_SETUP_RETRY);
     }
@@ -506,15 +542,19 @@ impl Node for NeutralizedSourceNode {
         }
     }
 
-    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: Vec<u8>) {
-        let Ok(parsed) = parse_shim(&frame) else {
-            return;
-        };
-        match parsed.shim.shim_type {
-            ShimType::KeyReply => self.handle_key_reply(ctx, parsed.payload),
-            ShimType::Return => self.handle_return(ctx, &parsed.shim, parsed.payload),
-            _ => {}
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: FrameBuf) {
+        {
+            let Ok(parsed) = parse_shim(&frame) else {
+                ctx.recycle(frame);
+                return;
+            };
+            match parsed.shim.shim_type {
+                ShimType::KeyReply => self.handle_key_reply(ctx, parsed.payload),
+                ShimType::Return => self.handle_return(ctx, &parsed.shim, parsed.payload),
+                _ => {}
+            }
         }
+        ctx.recycle(frame);
     }
 }
 
@@ -562,15 +602,23 @@ impl NeutralizedServerNode {
             addr_block: ShimRepr::plain_addr_block(initiator),
             stamp: None,
         };
-        if let Ok(pkt) = build_shim(self.addr, self.neutralizer, 0, &shim, &msg.to_bytes()) {
-            ctx.send(0, stamp_ect(pkt));
+        if let Some(pkt) = pooled_shim(ctx, self.addr, self.neutralizer, 0, &shim, &msg.to_bytes())
+        {
+            ctx.send(0, pkt);
         }
     }
 }
 
 impl Node for NeutralizedServerNode {
-    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: Vec<u8>) {
-        let Ok(parsed) = parse_shim(&frame) else {
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: FrameBuf) {
+        self.receive(ctx, &frame);
+        ctx.recycle(frame);
+    }
+}
+
+impl NeutralizedServerNode {
+    fn receive(&mut self, ctx: &mut Context, frame: &FrameBuf) {
+        let Ok(parsed) = parse_shim(frame) else {
             return;
         };
         if parsed.shim.shim_type != ShimType::Data {
@@ -615,9 +663,8 @@ impl Node for NeutralizedServerNode {
             return;
         };
         self.rx_frames += 1;
-        ctx.stats
-            .flow_rx(&FlowKey::new(flow), data.len(), sent, ctx.now);
-        note_ce(ctx, &frame, flow);
+        ctx.stats.flow_rx(flow, data.len(), sent, ctx.now);
+        note_ce(ctx, frame, flow);
         if self.echo {
             self.echo_reply(ctx, initiator, nonce, &inner.app);
         }

@@ -44,7 +44,9 @@ pub mod topology;
 pub mod workload;
 
 pub use adversary::AdversarySpec;
-pub use cell::{run_cell, CellFlow, CellReport, CellSpec, CellTuning, StackKind};
+pub use cell::{
+    run_cell, run_cell_with_pool, CellFlow, CellReport, CellSpec, CellTuning, StackKind,
+};
 pub use hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
 };

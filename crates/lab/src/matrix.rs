@@ -16,7 +16,7 @@
 //! workspace builds offline).
 
 use crate::adversary::AdversarySpec;
-use crate::cell::{run_cell, CellFlow, CellReport, CellSpec, CellTuning, StackKind};
+use crate::cell::{CellFlow, CellReport, CellSpec, CellTuning, StackKind};
 use crate::json::Json;
 use crate::link::LinkProfileSpec;
 use crate::topology::TopologySpec;
@@ -203,11 +203,17 @@ pub fn run_matrix_with_threads(spec: &ExperimentSpec, threads: usize) -> MatrixR
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(mc) = cells.get(i) else { break };
-                let report = run_cell(&mc.cell, &spec.tuning);
-                results.lock().expect("runner mutex")[i] = Some(report);
+            scope.spawn(|| {
+                // One frame pool per worker: consecutive cells reuse each
+                // other's recycled buffers (purely an allocator handoff —
+                // reports are byte-identical with or without it).
+                let mut pool = nn_netsim::FramePool::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(mc) = cells.get(i) else { break };
+                    let report = crate::cell::run_cell_with_pool(&mc.cell, &spec.tuning, &mut pool);
+                    results.lock().expect("runner mutex")[i] = Some(report);
+                }
             });
         }
     });

@@ -523,7 +523,7 @@ fn install_routes(
     neut: NodeId,
     advertised: &[(Ipv4Cidr, NodeId)],
 ) {
-    let tables = compute_routes(&sim.edges(), advertised, sim.node_count());
+    let tables = compute_routes(sim.edges(), advertised, sim.node_count());
     for &r in routers {
         if let Some(table) = tables.get(&r) {
             sim.node_mut::<RouterNode>(r)
@@ -580,7 +580,7 @@ mod tests {
         assert_eq!(sim.node_name(built.dst), "dst");
         assert_eq!(built.disc_name, "isp");
         // Three bidirectional links = six directed edges.
-        assert_eq!(sim.edges().len(), 6);
+        assert_eq!(sim.edges().count(), 6);
     }
 
     #[test]

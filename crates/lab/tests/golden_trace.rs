@@ -1,0 +1,96 @@
+//! Golden-trace determinism tests for the data-path refactors.
+//!
+//! The frame-pool and timing-wheel work (ISSUE 4) is only allowed to
+//! change *performance*, never *results*: the engine's documented
+//! ordering contract — events fire by (time, submission order) with all
+//! randomness from the one seeded RNG — must survive any scheduler or
+//! buffer-management swap. These tests pin that contract byte-for-byte:
+//! the full JSON and CSV reports of two fixed-seed matrices are compared
+//! against goldens captured *before* the refactor, at two different
+//! thread counts.
+//!
+//! To regenerate after an *intentional* result change (new axes, new
+//! report columns):
+//!
+//! ```text
+//! NN_UPDATE_GOLDENS=1 cargo test -p nn-lab --test golden_trace
+//! ```
+
+use nn_lab::matrix::{named_matrix, run_matrix_with_threads, ExperimentSpec};
+use nn_lab::{AdversarySpec, CellTuning, LinkProfileSpec, StackKind, TopologySpec, WorkloadSpec};
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden, or rewrites the
+/// golden when `NN_UPDATE_GOLDENS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("NN_UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap_or_else(|e| panic!("writing {path:?}: {e}"));
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden {path:?} ({e}); run with NN_UPDATE_GOLDENS=1 to capture it")
+    });
+    assert!(
+        expected == actual,
+        "{name} drifted from its pre-refactor golden: the engine's \
+         deterministic trace contract is broken (or the report schema \
+         changed intentionally — then regenerate with NN_UPDATE_GOLDENS=1)"
+    );
+}
+
+/// The congested story the acceptance gate names: cross-traffic dumbbell
+/// under the congested bottleneck preset, all three adversaries, both
+/// stacks — 6 cells, the same shape as the `congested` named matrix with
+/// its redundant link rows trimmed for debug-build test time.
+fn congested_story_spec() -> ExperimentSpec {
+    ExperimentSpec {
+        name: "congested-golden".to_string(),
+        topologies: vec![TopologySpec::dumbbell_crossed()],
+        links: vec![LinkProfileSpec::congested_default()],
+        workloads: vec![WorkloadSpec::voip_default()],
+        adversaries: vec![
+            AdversarySpec::None,
+            AdversarySpec::content_dpi_default(),
+            AdversarySpec::tiered_default(),
+        ],
+        stacks: vec![StackKind::Plain, StackKind::Neutralized],
+        seeds: vec![1],
+        tuning: CellTuning::fast(),
+    }
+}
+
+#[test]
+fn smoke_matrix_json_matches_golden_at_any_thread_count() {
+    let spec = named_matrix("smoke").expect("smoke matrix exists");
+    let one = run_matrix_with_threads(&spec, 1);
+    let three = run_matrix_with_threads(&spec, 3);
+    assert_eq!(
+        one.to_json(),
+        three.to_json(),
+        "thread count must not leak into the report"
+    );
+    assert_golden("smoke_matrix.json", &one.to_json());
+    assert_golden("smoke_matrix.csv", &one.to_csv());
+}
+
+#[test]
+fn congested_matrix_json_matches_golden_at_any_thread_count() {
+    let spec = congested_story_spec();
+    let one = run_matrix_with_threads(&spec, 1);
+    let three = run_matrix_with_threads(&spec, 3);
+    assert_eq!(
+        one.to_json(),
+        three.to_json(),
+        "thread count must not leak into the report"
+    );
+    assert_golden("congested_matrix.json", &one.to_json());
+    assert_golden("congested_matrix.csv", &one.to_csv());
+}

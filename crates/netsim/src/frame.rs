@@ -1,0 +1,236 @@
+//! Pooled frame buffers — the allocation-free data path.
+//!
+//! Every hop used to heap-allocate and free a `Vec<u8>` per frame; at
+//! millions of simulated packets the allocator becomes the per-frame
+//! cost floor (the reason ns-3 and Click pool their packet objects).
+//! [`FrameBuf`] is a length-tracked byte buffer and [`FramePool`] a
+//! per-simulator freelist: the engine recycles buffers it consumes
+//! (queue drops, loss drops), nodes recycle frames they terminate via
+//! [`crate::sim::Context::recycle`] and allocate replies from
+//! [`crate::sim::Context::alloc`], so a steady-state simulation reuses
+//! the same handful of buffers instead of touching `malloc` per frame.
+//!
+//! `FrameBuf` converts from/into `Vec<u8>` and derefs to `[u8]`, so
+//! parsing helpers and tests keep working mechanically; a frame that
+//! never meets a pool is just an owned buffer.
+
+use std::ops::{Deref, DerefMut};
+
+/// A whole network frame: owned bytes with pool-friendly reuse.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FrameBuf {
+    data: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// An empty frame (no allocation until bytes are written).
+    pub fn new() -> Self {
+        FrameBuf { data: Vec::new() }
+    }
+
+    /// The frame bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The frame bytes, mutably (length-preserving edits: TTL, DSCP,
+    /// ECN, corruption).
+    pub fn as_mut_slice(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// The backing vector, for builders that resize the frame
+    /// (`build_udp_into` and friends write header + payload here).
+    pub fn vec_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.data
+    }
+
+    /// Frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the frame holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Empties the frame, keeping its capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends bytes.
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        self.data.extend_from_slice(bytes);
+    }
+
+    /// Unwraps into the backing vector.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+impl From<Vec<u8>> for FrameBuf {
+    fn from(data: Vec<u8>) -> Self {
+        FrameBuf { data }
+    }
+}
+
+impl From<FrameBuf> for Vec<u8> {
+    fn from(frame: FrameBuf) -> Self {
+        frame.data
+    }
+}
+
+impl Deref for FrameBuf {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for FrameBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for FrameBuf {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// A freelist of frame buffers. One lives in each [`crate::Simulator`];
+/// anything that consumes a frame hands the buffer back, anything that
+/// creates one asks here first.
+#[derive(Debug)]
+pub struct FramePool {
+    free: Vec<Vec<u8>>,
+    max_retained: usize,
+    allocs: u64,
+    pool_hits: u64,
+    recycled: u64,
+}
+
+/// Freelist cap: beyond this many parked buffers, recycled frames are
+/// simply freed. Bounds pool memory at (cap × largest frame) even for
+/// pathological burst patterns.
+const DEFAULT_MAX_RETAINED: usize = 4096;
+
+impl Default for FramePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FramePool {
+    /// An empty pool with the default retention cap.
+    pub fn new() -> Self {
+        FramePool {
+            free: Vec::new(),
+            max_retained: DEFAULT_MAX_RETAINED,
+            allocs: 0,
+            pool_hits: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Hands out an empty buffer, reusing a recycled one when available.
+    pub fn alloc(&mut self) -> FrameBuf {
+        self.allocs += 1;
+        match self.free.pop() {
+            Some(data) => {
+                self.pool_hits += 1;
+                debug_assert!(data.is_empty(), "recycled buffers are cleared");
+                FrameBuf { data }
+            }
+            None => FrameBuf::new(),
+        }
+    }
+
+    /// Hands out a buffer holding a copy of `bytes`.
+    pub fn alloc_copy(&mut self, bytes: &[u8]) -> FrameBuf {
+        let mut frame = self.alloc();
+        frame.extend_from_slice(bytes);
+        frame
+    }
+
+    /// Returns a consumed frame's buffer to the freelist.
+    pub fn recycle(&mut self, mut frame: FrameBuf) {
+        self.recycled += 1;
+        if self.free.len() < self.max_retained && frame.data.capacity() > 0 {
+            frame.data.clear();
+            self.free.push(frame.data);
+        }
+    }
+
+    /// Buffers currently parked in the freelist.
+    pub fn retained(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total `alloc`/`alloc_copy` calls.
+    pub fn allocations(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Allocations served from the freelist (no `malloc`).
+    pub fn pool_hits(&self) -> u64 {
+        self.pool_hits
+    }
+
+    /// Total frames recycled.
+    pub fn recycle_count(&self) -> u64 {
+        self.recycled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_rim_is_mechanical() {
+        let frame: FrameBuf = vec![1u8, 2, 3].into();
+        assert_eq!(frame.as_slice(), &[1, 2, 3]);
+        assert_eq!(frame.len(), 3);
+        assert_eq!(frame[0], 1);
+        let back: Vec<u8> = frame.into_vec();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn alloc_recycle_reuses_capacity() {
+        let mut pool = FramePool::new();
+        let mut a = pool.alloc();
+        a.extend_from_slice(&[0u8; 1500]);
+        let cap = a.vec_mut().capacity();
+        assert!(cap >= 1500);
+        pool.recycle(a);
+        assert_eq!(pool.retained(), 1);
+        let b = pool.alloc();
+        assert!(b.is_empty(), "recycled buffers come back empty");
+        assert_eq!(b.data.capacity(), cap, "capacity survives the pool");
+        assert_eq!(pool.pool_hits(), 1);
+    }
+
+    #[test]
+    fn retention_is_capped() {
+        let mut pool = FramePool::new();
+        pool.max_retained = 2;
+        for _ in 0..5 {
+            pool.recycle(FrameBuf::from(vec![1u8; 8]));
+        }
+        assert_eq!(pool.retained(), 2);
+        assert_eq!(pool.recycle_count(), 5);
+    }
+
+    #[test]
+    fn empty_buffers_are_not_parked() {
+        let mut pool = FramePool::new();
+        pool.recycle(FrameBuf::new());
+        assert_eq!(pool.retained(), 0, "capacity-less buffers are useless");
+    }
+}

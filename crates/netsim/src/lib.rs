@@ -8,6 +8,12 @@
 //! policing) and optional fault injection.
 //!
 //! * [`sim`] — the event engine and the `Node` trait.
+//! * [`frame`] — pooled [`FrameBuf`] buffers: the data path recycles
+//!   frames through a per-simulator [`FramePool`] freelist instead of
+//!   touching the allocator per hop.
+//! * [`wheel`] — the hierarchical [`TimingWheel`] event queue: amortized
+//!   O(1) scheduling with the exact `(time, submission order)` contract
+//!   of the binary heap it replaced.
 //! * [`link`] — the composable link-impairment pipeline: [`LinkProfile`]
 //!   with rate/latency/AQM stages plus loss ([`LossModel`]: Bernoulli or
 //!   Gilbert–Elliott bursts), corruption and bounded-reordering stages;
@@ -26,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod frame;
 pub mod link;
 pub mod nodes;
 pub mod policy;
@@ -34,7 +41,9 @@ pub mod routing;
 pub mod sim;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
+pub use frame::{FrameBuf, FramePool};
 pub use link::{FaultConfig, LinkConfig, LinkProfile, LossModel, QueueKind, StageSpec};
 pub use nodes::{RouterNode, SinkNode};
 pub use policy::{Action, MatchExpr, PolicyEngine, Rule, Verdict};
@@ -43,3 +52,4 @@ pub use routing::{compute_routes, RouteTable};
 pub use sim::{Context, IfaceId, LinkCounters, Node, NodeId, Simulator};
 pub use stats::{FlowKey, FlowStats, Stats};
 pub use time::{tx_time, SimTime};
+pub use wheel::TimingWheel;

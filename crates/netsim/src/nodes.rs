@@ -6,6 +6,7 @@
 //! (§1/§2 of the paper). [`SinkNode`] terminates and counts traffic for
 //! tests and attack experiments.
 
+use crate::frame::FrameBuf;
 use crate::policy::{PolicyEngine, Verdict};
 use crate::routing::RouteTable;
 use crate::sim::{Context, IfaceId, Node};
@@ -18,7 +19,7 @@ pub struct RouterNode {
     routes: RouteTable,
     policy: PolicyEngine,
     /// Frames parked by `Delay` verdicts, keyed by timer token.
-    pending: HashMap<u64, Vec<u8>>,
+    pending: HashMap<u64, FrameBuf>,
     next_token: u64,
     /// Statistics prefix, usually the node name.
     stats_name: String,
@@ -57,41 +58,56 @@ impl RouterNode {
         &self.routes
     }
 
-    fn forward(&mut self, ctx: &mut Context, frame: Vec<u8>) {
+    fn forward(&mut self, ctx: &mut Context, frame: FrameBuf) {
         let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) else {
             ctx.stats.count(&format!("{}.parse_error", self.stats_name));
+            ctx.recycle(frame);
             return;
         };
         let dst = ip.dst_addr();
+        self.forward_to(ctx, frame, dst);
+    }
+
+    /// Forward with the destination already extracted — the fast path
+    /// skips re-parsing a frame the TTL pass just validated.
+    fn forward_to(&mut self, ctx: &mut Context, frame: FrameBuf, dst: nn_packet::Ipv4Addr) {
         match self.routes.lookup(dst) {
             Some(iface) => ctx.send(iface, frame),
-            None => ctx.stats.count(&format!("{}.no_route", self.stats_name)),
+            None => {
+                ctx.stats.count(&format!("{}.no_route", self.stats_name));
+                ctx.recycle(frame);
+            }
         }
     }
 }
 
 impl Node for RouterNode {
-    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, mut frame: Vec<u8>) {
-        // TTL processing.
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, mut frame: FrameBuf) {
+        // TTL processing (the destination rides along so the forward
+        // fast path never parses the header twice).
+        let dst;
         {
-            let Ok(mut ip) = Ipv4Packet::new_checked(&mut frame[..]) else {
+            let Ok(mut ip) = Ipv4Packet::new_checked(frame.as_mut_slice()) else {
                 ctx.stats.count(&format!("{}.parse_error", self.stats_name));
+                ctx.recycle(frame);
                 return;
             };
             let ttl = ip.ttl();
             if ttl <= 1 {
                 ctx.stats.count(&format!("{}.ttl_expired", self.stats_name));
+                ctx.recycle(frame);
                 return;
             }
             ip.set_ttl(ttl - 1);
+            dst = ip.dst_addr();
         }
         // Policy.
         let draw: f64 = rand::Rng::gen(ctx.rng);
         let verdict = self.policy.evaluate(ctx.now.as_nanos(), &frame, draw);
         match verdict {
-            Verdict::Forward => self.forward(ctx, frame),
+            Verdict::Forward => self.forward_to(ctx, frame, dst),
             Verdict::ForwardDscp(dscp) => {
-                if let Ok(mut ip) = Ipv4Packet::new_checked(&mut frame[..]) {
+                if let Ok(mut ip) = Ipv4Packet::new_checked(frame.as_mut_slice()) {
                     ip.set_dscp(dscp);
                 }
                 self.forward(ctx, frame);
@@ -99,6 +115,7 @@ impl Node for RouterNode {
             Verdict::Drop(rule) => {
                 ctx.stats
                     .count(&format!("{}.policy_drop.{}", self.stats_name, rule));
+                ctx.recycle(frame);
             }
             Verdict::Delay(extra) => {
                 let token = self.next_token;
@@ -125,8 +142,9 @@ pub struct SinkNode {
     pub rx_frames: u64,
     /// Total bytes received.
     pub rx_bytes: u64,
-    /// Frames per source address.
-    pub by_source: HashMap<u32, u64>,
+    /// Frames per source address, unordered. A sink sees a handful of
+    /// sources, so a scanned vec beats hashing on every delivery.
+    sources: Vec<(u32, u64)>,
 }
 
 impl SinkNode {
@@ -134,15 +152,33 @@ impl SinkNode {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Frames received from `src` (0 when never seen).
+    pub fn from_source(&self, src: u32) -> u64 {
+        self.sources
+            .iter()
+            .find(|&&(s, _)| s == src)
+            .map_or(0, |&(_, n)| n)
+    }
+
+    /// Distinct source addresses seen.
+    pub fn source_count(&self) -> usize {
+        self.sources.len()
+    }
 }
 
 impl Node for SinkNode {
-    fn on_packet(&mut self, _ctx: &mut Context, _iface: IfaceId, frame: Vec<u8>) {
+    fn on_packet(&mut self, ctx: &mut Context, _iface: IfaceId, frame: FrameBuf) {
         self.rx_frames += 1;
         self.rx_bytes += frame.len() as u64;
         if let Ok(ip) = Ipv4Packet::new_checked(&frame[..]) {
-            *self.by_source.entry(ip.src_addr().to_u32()).or_insert(0) += 1;
+            let src = ip.src_addr().to_u32();
+            match self.sources.iter_mut().find(|(s, _)| *s == src) {
+                Some((_, n)) => *n += 1,
+                None => self.sources.push((src, 1)),
+            }
         }
+        ctx.recycle(frame);
     }
 }
 
@@ -171,7 +207,7 @@ mod tests {
             (Ipv4Cidr::new(HOST_A, 24), a),
             (Ipv4Cidr::new(HOST_B, 24), b),
         ];
-        let tables = compute_routes(&sim.edges(), &prefixes, sim.node_count());
+        let tables = compute_routes(sim.edges(), &prefixes, sim.node_count());
         sim.node_mut::<RouterNode>(r)
             .unwrap()
             .set_routes(tables[&r].clone());
@@ -265,6 +301,6 @@ mod tests {
         sim.run(100);
         let sink = sim.node_ref::<SinkNode>(a).unwrap();
         assert_eq!(sink.rx_frames, 3);
-        assert_eq!(sink.by_source[&HOST_B.to_u32()], 2);
+        assert_eq!(sink.from_source(HOST_B.to_u32()), 2);
     }
 }

@@ -5,7 +5,13 @@
 //! keeps working through a neutralizer precisely because the DSCP survives
 //! — and the discrimination policies need token-bucket policing and RED
 //! for degradation that is throughput-shaped rather than all-or-nothing.
+//!
+//! Queues move pooled [`FrameBuf`]s and never free a frame themselves: a
+//! rejected frame rides back to the caller in
+//! [`EnqueueResult::Dropped`], so the engine can recycle its buffer —
+//! queue drops are exactly the hot path of a congested simulation.
 
+use crate::frame::FrameBuf;
 use nn_packet::{ecn, Ipv4Packet};
 use std::collections::VecDeque;
 
@@ -13,16 +19,17 @@ use std::collections::VecDeque;
 #[derive(Debug, Clone)]
 pub struct QueuedFrame {
     /// The wire bytes.
-    pub frame: Vec<u8>,
+    pub frame: FrameBuf,
 }
 
 /// Outcome of an enqueue attempt.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, PartialEq, Eq)]
 pub enum EnqueueResult {
     /// Frame accepted.
     Accepted,
-    /// Frame dropped (queue policy).
-    Dropped,
+    /// Frame rejected (queue policy); the buffer comes back to the
+    /// caller for recycling.
+    Dropped(FrameBuf),
     /// Frame accepted after an ECN CE mark: an ECN-capable AQM signalled
     /// congestion in-band instead of dropping (RFC 3168).
     Marked,
@@ -30,8 +37,8 @@ pub enum EnqueueResult {
 
 /// A drop-policy queue feeding a link serializer.
 pub trait Queue: Send {
-    /// Offers a frame; the queue may accept or drop it.
-    fn enqueue(&mut self, frame: Vec<u8>, rng_draw: f64) -> EnqueueResult;
+    /// Offers a frame; the queue may accept it or hand it back dropped.
+    fn enqueue(&mut self, frame: FrameBuf, rng_draw: f64) -> EnqueueResult;
     /// Takes the next frame to serialize.
     fn dequeue(&mut self) -> Option<QueuedFrame>;
     /// Bytes currently held.
@@ -64,9 +71,9 @@ impl DropTail {
 }
 
 impl Queue for DropTail {
-    fn enqueue(&mut self, frame: Vec<u8>, _rng_draw: f64) -> EnqueueResult {
+    fn enqueue(&mut self, frame: FrameBuf, _rng_draw: f64) -> EnqueueResult {
         if self.bytes + frame.len() > self.capacity_bytes {
-            return EnqueueResult::Dropped;
+            return EnqueueResult::Dropped(frame);
         }
         self.bytes += frame.len();
         self.frames.push_back(QueuedFrame { frame });
@@ -127,7 +134,7 @@ impl DscpPriority {
 }
 
 impl Queue for DscpPriority {
-    fn enqueue(&mut self, frame: Vec<u8>, rng_draw: f64) -> EnqueueResult {
+    fn enqueue(&mut self, frame: FrameBuf, rng_draw: f64) -> EnqueueResult {
         let band = Self::band_for(&frame);
         self.bands[band].enqueue(frame, rng_draw)
     }
@@ -194,22 +201,22 @@ impl Red {
 }
 
 impl Queue for Red {
-    fn enqueue(&mut self, mut frame: Vec<u8>, rng_draw: f64) -> EnqueueResult {
+    fn enqueue(&mut self, mut frame: FrameBuf, rng_draw: f64) -> EnqueueResult {
         let occ = self.inner.len_bytes();
         if occ >= self.max_bytes {
-            return EnqueueResult::Dropped;
+            return EnqueueResult::Dropped(frame);
         }
         if occ > self.min_bytes {
             let ramp = (occ - self.min_bytes) as f64 / (self.max_bytes - self.min_bytes) as f64;
             if rng_draw < ramp * self.max_prob {
                 if self.ecn_mark && Self::is_ect_frame(&frame) {
-                    Ipv4Packet::new_unchecked(&mut frame[..]).set_ecn(ecn::CE);
+                    Ipv4Packet::new_unchecked(frame.as_mut_slice()).set_ecn(ecn::CE);
                     return match self.inner.enqueue(frame, rng_draw) {
                         EnqueueResult::Accepted => EnqueueResult::Marked,
                         other => other,
                     };
                 }
-                return EnqueueResult::Dropped;
+                return EnqueueResult::Dropped(frame);
             }
         }
         self.inner.enqueue(frame, rng_draw)
@@ -271,7 +278,7 @@ mod tests {
     use super::*;
     use nn_packet::{dscp, proto, Ipv4Addr, Ipv4Repr};
 
-    fn ip_frame(dscp: u8, payload: usize) -> Vec<u8> {
+    fn ip_frame(dscp: u8, payload: usize) -> FrameBuf {
         let repr = Ipv4Repr {
             src: Ipv4Addr::new(1, 1, 1, 1),
             dst: Ipv4Addr::new(2, 2, 2, 2),
@@ -282,15 +289,27 @@ mod tests {
         };
         let mut buf = vec![0u8; repr.buffer_len()];
         repr.emit(&mut buf).unwrap();
-        buf
+        buf.into()
+    }
+
+    fn raw(bytes: Vec<u8>) -> FrameBuf {
+        bytes.into()
+    }
+
+    fn dropped(r: EnqueueResult) -> bool {
+        matches!(r, EnqueueResult::Dropped(_))
     }
 
     #[test]
     fn droptail_fifo_and_capacity() {
         let mut q = DropTail::new(100);
-        assert_eq!(q.enqueue(vec![1; 60], 0.0), EnqueueResult::Accepted);
-        assert_eq!(q.enqueue(vec![2; 60], 0.0), EnqueueResult::Dropped);
-        assert_eq!(q.enqueue(vec![3; 40], 0.0), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(raw(vec![1; 60]), 0.0), EnqueueResult::Accepted);
+        // The rejected frame's buffer rides back to the caller.
+        match q.enqueue(raw(vec![2; 60]), 0.0) {
+            EnqueueResult::Dropped(f) => assert_eq!(f.as_slice(), &[2; 60][..]),
+            other => panic!("expected Dropped, got {other:?}"),
+        }
+        assert_eq!(q.enqueue(raw(vec![3; 40]), 0.0), EnqueueResult::Accepted);
         assert_eq!(q.len_bytes(), 100);
         assert_eq!(q.dequeue().unwrap().frame[0], 1);
         assert_eq!(q.dequeue().unwrap().frame[0], 3);
@@ -314,7 +333,7 @@ mod tests {
     #[test]
     fn dscp_priority_garbage_goes_best_effort() {
         let mut q = DscpPriority::new(1000);
-        q.enqueue(vec![0xff; 10], 0.0);
+        q.enqueue(raw(vec![0xff; 10]), 0.0);
         q.enqueue(ip_frame(dscp::EXPEDITED, 1), 0.0);
         assert_eq!(q.dequeue().unwrap().frame.len(), 21, "EF first");
         assert_eq!(q.dequeue().unwrap().frame.len(), 10);
@@ -324,17 +343,17 @@ mod tests {
     fn red_ramps_drops() {
         let mut q = Red::new(1000, 100, 500, 1.0);
         // Below min: always accepted regardless of draw.
-        assert_eq!(q.enqueue(vec![0; 100], 0.0), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(raw(vec![0; 100]), 0.0), EnqueueResult::Accepted);
         // Occupancy 100, still at min boundary: accepted.
-        assert_eq!(q.enqueue(vec![0; 100], 0.99), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(raw(vec![0; 100]), 0.99), EnqueueResult::Accepted);
         // Occupancy 200 => ramp = 0.25; draw 0.1 < 0.25 => drop.
-        assert_eq!(q.enqueue(vec![0; 100], 0.1), EnqueueResult::Dropped);
+        assert!(dropped(q.enqueue(raw(vec![0; 100]), 0.1)));
         // Same occupancy, draw 0.9 => accept.
-        assert_eq!(q.enqueue(vec![0; 100], 0.9), EnqueueResult::Accepted);
+        assert_eq!(q.enqueue(raw(vec![0; 100]), 0.9), EnqueueResult::Accepted);
         // Fill to max: certain drop.
-        q.enqueue(vec![0; 200], 0.99);
+        q.enqueue(raw(vec![0; 200]), 0.99);
         assert_eq!(q.len_bytes(), 500);
-        assert_eq!(q.enqueue(vec![0; 1], 0.99), EnqueueResult::Dropped);
+        assert!(dropped(q.enqueue(raw(vec![0; 1]), 0.99)));
     }
 
     #[test]
@@ -343,7 +362,7 @@ mod tests {
         let mut q = Red::new(1000, 100, 500, 1.0).with_ecn(true);
         let ect_frame = |payload: usize| {
             let mut f = ip_frame(dscp::AF11, payload);
-            Ipv4Packet::new_unchecked(&mut f[..]).set_ecn(ecn::ECT0);
+            Ipv4Packet::new_unchecked(f.as_mut_slice()).set_ecn(ecn::ECT0);
             f
         };
         // Fill past the ramp start.
@@ -352,14 +371,11 @@ mod tests {
         // marked and accepted instead.
         assert_eq!(q.enqueue(ect_frame(180), 0.1), EnqueueResult::Marked);
         // A non-ECT frame in the same spot still drops.
-        assert_eq!(
-            q.enqueue(ip_frame(dscp::AF11, 180), 0.1),
-            EnqueueResult::Dropped
-        );
+        assert!(dropped(q.enqueue(ip_frame(dscp::AF11, 180), 0.1)));
         // Fill to the hard limit: even ECT frames drop there.
         assert_eq!(q.enqueue(ect_frame(80), 0.99), EnqueueResult::Accepted);
         assert_eq!(q.len_bytes(), 500);
-        assert_eq!(q.enqueue(ect_frame(1), 0.0), EnqueueResult::Dropped);
+        assert!(dropped(q.enqueue(ect_frame(1), 0.0)));
         // Dequeued frames carry the mark: first frame clean, second CE.
         let first = q.dequeue().unwrap().frame;
         assert_eq!(
@@ -378,9 +394,9 @@ mod tests {
         use nn_packet::ecn;
         let mut q = Red::new(1000, 100, 500, 1.0);
         let mut f = ip_frame(dscp::AF11, 180);
-        Ipv4Packet::new_unchecked(&mut f[..]).set_ecn(ecn::ECT0);
+        Ipv4Packet::new_unchecked(f.as_mut_slice()).set_ecn(ecn::ECT0);
         q.enqueue(f.clone(), 0.0);
-        assert_eq!(q.enqueue(f, 0.1), EnqueueResult::Dropped);
+        assert!(dropped(q.enqueue(f, 0.1)));
     }
 
     #[test]

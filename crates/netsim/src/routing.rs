@@ -59,15 +59,20 @@ impl RouteTable {
 
 /// Computes per-node forwarding tables over the given directed edges.
 ///
-/// `edges` come from [`crate::sim::Simulator::edges`]; `prefixes` maps
-/// each advertised prefix to its owner node(s) — several owners of one
-/// prefix form an anycast group. Path cost is propagation latency; ties
-/// break deterministically on (node id, iface id).
+/// `edges` come from [`crate::sim::Simulator::edges`] (any iterator of
+/// `(from, iface, to, latency)` works); `prefixes` maps each advertised
+/// prefix to its owner node(s) — several owners of one prefix form an
+/// anycast group. Path cost is propagation latency; ties break
+/// deterministically on (node id, iface id).
 pub fn compute_routes(
-    edges: &[(NodeId, IfaceId, NodeId, Duration)],
+    edges: impl IntoIterator<Item = (NodeId, IfaceId, NodeId, Duration)>,
     prefixes: &[(Ipv4Cidr, NodeId)],
     node_count: usize,
 ) -> HashMap<NodeId, RouteTable> {
+    // Route computation is setup-time work that walks the edge list per
+    // prefix; materialize the iterator once.
+    let edges: Vec<(NodeId, IfaceId, NodeId, Duration)> = edges.into_iter().collect();
+    let edges = &edges[..];
     // Group anycast owners.
     let mut groups: HashMap<Ipv4Cidr, Vec<NodeId>> = HashMap::new();
     for &(prefix, owner) in prefixes {
@@ -162,14 +167,14 @@ mod tests {
     #[test]
     fn line_topology_routes() {
         let ms = Duration::from_millis;
-        let edges = vec![
+        let edges = [
             (0, 0, 1, ms(1)),
             (1, 0, 0, ms(1)),
             (1, 1, 2, ms(1)),
             (2, 0, 1, ms(1)),
         ];
         let prefixes = vec![(cidr(10, 0, 2, 0, 24), 2usize)];
-        let tables = compute_routes(&edges, &prefixes, 3);
+        let tables = compute_routes(edges.iter().copied(), &prefixes, 3);
         assert_eq!(tables[&0].lookup(Ipv4Addr::new(10, 0, 2, 5)), Some(0));
         assert_eq!(tables[&1].lookup(Ipv4Addr::new(10, 0, 2, 5)), Some(1));
         assert!(!tables.contains_key(&2), "owner needs no route to itself");
@@ -180,7 +185,7 @@ mod tests {
     fn latency_weighted_shortest_path() {
         let ms = Duration::from_millis;
         // 0-1 fast, 1-2 fast, 0-2 slow.
-        let edges = vec![
+        let edges = [
             (0, 0, 1, ms(1)),
             (1, 0, 0, ms(1)),
             (1, 1, 2, ms(1)),
@@ -189,7 +194,7 @@ mod tests {
             (2, 1, 0, ms(10)),
         ];
         let prefixes = vec![(cidr(10, 0, 2, 0, 24), 2usize)];
-        let tables = compute_routes(&edges, &prefixes, 3);
+        let tables = compute_routes(edges.iter().copied(), &prefixes, 3);
         // Node 0 should go via node 1 (iface 0), not directly (iface 1).
         assert_eq!(tables[&0].lookup(Ipv4Addr::new(10, 0, 2, 1)), Some(0));
     }
@@ -199,7 +204,7 @@ mod tests {
     fn anycast_routes_to_nearest_owner() {
         let ms = Duration::from_millis;
         // 0 -- 1 -- 2, owners at 0 and 2 of the same prefix.
-        let edges = vec![
+        let edges = [
             (0, 0, 1, ms(1)),
             (1, 0, 0, ms(1)),
             (1, 1, 2, ms(5)),
@@ -207,20 +212,20 @@ mod tests {
         ];
         let anycast = cidr(198, 18, 0, 0, 16);
         let prefixes = vec![(anycast, 0usize), (anycast, 2usize)];
-        let tables = compute_routes(&edges, &prefixes, 3);
+        let tables = compute_routes(edges.iter().copied(), &prefixes, 3);
         // Node 1 is nearer to owner 0 (1ms) than to owner 2 (5ms).
         assert_eq!(tables[&1].lookup(Ipv4Addr::new(198, 18, 0, 1)), Some(0));
     }
 
     #[test]
     fn unreachable_nodes_get_no_route() {
-        let edges = vec![
+        let edges = [
             (0usize, 0usize, 1usize, Duration::from_millis(1)),
             (1, 0, 0, Duration::from_millis(1)),
         ];
         // Node 2 is disconnected.
         let prefixes = vec![(cidr(10, 0, 0, 0, 8), 0usize)];
-        let tables = compute_routes(&edges, &prefixes, 3);
+        let tables = compute_routes(edges.iter().copied(), &prefixes, 3);
         assert!(!tables.contains_key(&2));
         assert_eq!(tables[&1].lookup(Ipv4Addr::new(10, 0, 0, 1)), Some(0));
     }

@@ -19,6 +19,15 @@ impl FlowKey {
     }
 }
 
+/// Lets the per-packet accounting paths look flows up by `&str` without
+/// allocating a key (`HashMap::get` via `Borrow`). The owned key is only
+/// built on a flow's *first* packet.
+impl std::borrow::Borrow<str> for FlowKey {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
 /// Per-flow accounting record.
 #[derive(Debug, Clone, Default)]
 pub struct FlowStats {
@@ -156,14 +165,19 @@ impl Stats {
         }
     }
 
-    /// Mutable access to a flow record, creating it on first touch.
-    pub fn flow_mut(&mut self, key: &FlowKey) -> &mut FlowStats {
-        self.flows.entry(key.clone()).or_default()
+    /// Mutable access to a flow record, creating it on first touch. The
+    /// lookup is by `&str`; an owned key is only allocated the first
+    /// time a flow appears — per-packet accounting stays allocation-free.
+    pub fn flow_mut(&mut self, name: &str) -> &mut FlowStats {
+        if !self.flows.contains_key(name) {
+            self.flows.insert(FlowKey::new(name), FlowStats::default());
+        }
+        self.flows.get_mut(name).expect("just ensured present")
     }
 
     /// Reads a flow record.
-    pub fn flow(&self, key: &FlowKey) -> Option<&FlowStats> {
-        self.flows.get(key)
+    pub fn flow(&self, name: &str) -> Option<&FlowStats> {
+        self.flows.get(name)
     }
 
     /// All flows, for report tables.
@@ -172,20 +186,20 @@ impl Stats {
     }
 
     /// Records a packet transmission on a flow.
-    pub fn flow_tx(&mut self, key: &FlowKey, bytes: usize) {
-        let f = self.flow_mut(key);
+    pub fn flow_tx(&mut self, name: &str, bytes: usize) {
+        let f = self.flow_mut(name);
         f.tx_packets += 1;
         f.tx_bytes += bytes as u64;
     }
 
     /// Records a delivered packet that arrived CE-marked on a flow.
-    pub fn flow_ce(&mut self, key: &FlowKey) {
-        self.flow_mut(key).ce_marks += 1;
+    pub fn flow_ce(&mut self, name: &str) {
+        self.flow_mut(name).ce_marks += 1;
     }
 
     /// Records a packet delivery on a flow.
-    pub fn flow_rx(&mut self, key: &FlowKey, bytes: usize, sent_at: SimTime, now: SimTime) {
-        let f = self.flow_mut(key);
+    pub fn flow_rx(&mut self, name: &str, bytes: usize, sent_at: SimTime, now: SimTime) {
+        let f = self.flow_mut(name);
         f.rx_packets += 1;
         f.rx_bytes += bytes as u64;
         f.delays.push((now - sent_at).as_secs_f64());
@@ -223,12 +237,12 @@ mod tests {
     #[test]
     fn flow_accounting() {
         let mut s = Stats::new();
-        let k = FlowKey::new("voip:ann->ben");
-        s.flow_tx(&k, 100);
-        s.flow_tx(&k, 100);
-        s.flow_rx(&k, 100, SimTime::ZERO, SimTime::from_millis(30));
-        s.flow_ce(&k);
-        let f = s.flow(&k).unwrap();
+        let k = "voip:ann->ben";
+        s.flow_tx(k, 100);
+        s.flow_tx(k, 100);
+        s.flow_rx(k, 100, SimTime::ZERO, SimTime::from_millis(30));
+        s.flow_ce(k);
+        let f = s.flow(k).unwrap();
         assert_eq!(f.tx_packets, 2);
         assert_eq!(f.rx_packets, 1);
         assert_eq!(f.ce_marks, 1);
@@ -288,11 +302,11 @@ mod tests {
     #[test]
     fn percentile_cache_tracks_new_deliveries() {
         let mut s = Stats::new();
-        let k = FlowKey::new("f");
-        s.flow_rx(&k, 10, SimTime::ZERO, SimTime::from_millis(10));
-        assert_eq!(s.flow(&k).unwrap().delay_percentile(100.0), 0.010);
-        s.flow_rx(&k, 10, SimTime::ZERO, SimTime::from_millis(90));
-        let f = s.flow(&k).unwrap();
+        let k = "f";
+        s.flow_rx(k, 10, SimTime::ZERO, SimTime::from_millis(10));
+        assert_eq!(s.flow(k).unwrap().delay_percentile(100.0), 0.010);
+        s.flow_rx(k, 10, SimTime::ZERO, SimTime::from_millis(90));
+        let f = s.flow(k).unwrap();
         assert_eq!(f.delay_percentile(100.0), 0.090);
         assert_eq!(f.delay_percentile(0.0), 0.010);
         // Repeated queries on an unchanged flow reuse the cache and stay
@@ -303,12 +317,12 @@ mod tests {
     #[test]
     fn goodput_over_window() {
         let mut s = Stats::new();
-        let k = FlowKey::new("bulk");
-        s.flow_tx(&k, 1000);
-        s.flow_rx(&k, 1000, SimTime::ZERO, SimTime::from_secs(1));
-        s.flow_tx(&k, 1000);
-        s.flow_rx(&k, 1000, SimTime::ZERO, SimTime::from_secs(2));
+        let k = "bulk";
+        s.flow_tx(k, 1000);
+        s.flow_rx(k, 1000, SimTime::ZERO, SimTime::from_secs(1));
+        s.flow_tx(k, 1000);
+        s.flow_rx(k, 1000, SimTime::ZERO, SimTime::from_secs(2));
         // 2000 bytes over 1 second window = 16 kbps.
-        assert!((s.flow(&k).unwrap().goodput_bps() - 16_000.0).abs() < 1e-6);
+        assert!((s.flow(k).unwrap().goodput_bps() - 16_000.0).abs() < 1e-6);
     }
 }

@@ -7,8 +7,8 @@
 //! seed, because every matrix cell's reproducibility claim rests on it.
 
 use nn_netsim::{
-    Context, IfaceId, LinkCounters, LinkProfile, LossModel, Node, QueueKind, SimTime, Simulator,
-    StageSpec,
+    Context, FrameBuf, IfaceId, LinkCounters, LinkProfile, LossModel, Node, QueueKind, SimTime,
+    Simulator, StageSpec,
 };
 use nn_packet::{build_udp, ecn, Ipv4Addr, Ipv4Packet};
 use proptest::prelude::*;
@@ -59,7 +59,9 @@ impl Node for Blaster {
             ctx.set_timer(self.interval, 0);
         }
     }
-    fn on_packet(&mut self, _: &mut Context, _: IfaceId, _: Vec<u8>) {}
+    fn on_packet(&mut self, ctx: &mut Context, _: IfaceId, frame: FrameBuf) {
+        ctx.recycle(frame);
+    }
 }
 
 /// Records every delivered frame verbatim, in arrival order.
@@ -69,8 +71,8 @@ struct Recorder {
 }
 
 impl Node for Recorder {
-    fn on_packet(&mut self, _: &mut Context, _: IfaceId, frame: Vec<u8>) {
-        self.frames.push(frame);
+    fn on_packet(&mut self, _: &mut Context, _: IfaceId, frame: FrameBuf) {
+        self.frames.push(frame.into_vec());
     }
 }
 

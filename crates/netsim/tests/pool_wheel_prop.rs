@@ -1,0 +1,124 @@
+//! Property tests for the allocation-free data path's two new
+//! structures.
+//!
+//! * [`nn_netsim::FramePool`]: arbitrary interleavings of alloc, write
+//!   and recycle must never alias a live frame — a buffer handed out
+//!   holds exactly what its owner wrote, no matter what the freelist
+//!   did in between, and recycled buffers come back empty.
+//! * [`nn_netsim::TimingWheel`]: for arbitrary (time, burstiness)
+//!   schedules with interleaved pushes and pops, the wheel must yield
+//!   the exact sequence a reference `BinaryHeap` of `(time, seq)` pairs
+//!   yields — the determinism contract the golden-trace tests pin
+//!   end-to-end.
+
+use nn_netsim::{FrameBuf, FramePool, SimTime, TimingWheel};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+proptest! {
+    /// Live frames never alias: each allocated frame is stamped with a
+    /// unique pattern, and arbitrary alloc/recycle interleavings leave
+    /// every live frame's contents intact.
+    #[test]
+    fn pool_never_aliases_live_frames(ops in proptest::collection::vec(0u8..4, 1..200)) {
+        let mut pool = FramePool::new();
+        let mut live: Vec<(u64, usize, FrameBuf)> = Vec::new();
+        let mut stamp: u64 = 0;
+
+        let check = |tag: u64, len: usize, frame: &FrameBuf| {
+            prop_assert_eq!(frame.len(), len);
+            for &b in frame.as_slice() {
+                prop_assert_eq!(b, (tag % 251) as u8);
+            }
+            Ok(())
+        };
+
+        for op in ops {
+            match op {
+                // Allocate a frame and stamp it.
+                0 | 1 => {
+                    stamp += 1;
+                    let len = 1 + (stamp as usize * 37) % 200;
+                    let mut f = pool.alloc();
+                    prop_assert!(f.is_empty(), "pooled buffers come back empty");
+                    let byte = (stamp % 251) as u8;
+                    for _ in 0..len {
+                        f.extend_from_slice(&[byte]);
+                    }
+                    live.push((stamp, len, f));
+                }
+                // Recycle the oldest live frame (after verifying it).
+                2 => {
+                    if !live.is_empty() {
+                        let (tag, len, f) = live.remove(0);
+                        check(tag, len, &f)?;
+                        pool.recycle(f);
+                    }
+                }
+                // Rewrite the newest live frame in place.
+                _ => {
+                    if let Some((tag, len, f)) = live.last_mut() {
+                        *tag += 1000;
+                        let byte = (*tag % 251) as u8;
+                        for b in f.as_mut_slice() {
+                            *b = byte;
+                        }
+                        let _ = len;
+                    }
+                }
+            }
+            // Every live frame still holds exactly its own stamp.
+            for (tag, len, f) in &live {
+                check(*tag, *len, f)?;
+            }
+        }
+        // Drain: everything still intact at the end.
+        for (tag, len, f) in live.drain(..) {
+            check(tag, len, &f)?;
+            pool.recycle(f);
+        }
+    }
+
+    /// The wheel pops in exactly the reference heap's (time, seq) order
+    /// under arbitrary schedules: event times spanning quanta, slots,
+    /// levels and the overflow horizon, with pops interleaved between
+    /// push bursts.
+    #[test]
+    fn wheel_matches_reference_heap_order(
+        // (coarse time seed, pop-after flag) pairs; times are scaled to
+        // cover everything from same-quantum collisions to overflow.
+        script in proptest::collection::vec((0u64..1u64 << 22, any::<bool>()), 1..300),
+    ) {
+        let mut wheel: TimingWheel<u64> = TimingWheel::new();
+        let mut reference: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut clock = 0u64; // monotone lower bound, like Simulator::now
+
+        for (seq, (raw, pop_after)) in script.into_iter().enumerate() {
+            let seq = seq as u64;
+            // Spread times non-linearly so bursts (same ns), same-slot,
+            // cross-level and beyond-horizon cases all occur.
+            let t = clock + (raw.wrapping_mul(raw) % (1u64 << 40));
+            wheel.push(SimTime(t), seq);
+            reference.push(Reverse((t, seq)));
+            if pop_after {
+                let got = wheel.pop();
+                let want = reference.pop().map(|Reverse(p)| p);
+                prop_assert_eq!(got.map(|(t, s)| (t.as_nanos(), s)), want);
+                if let Some((t, _)) = want {
+                    clock = clock.max(t);
+                }
+            }
+        }
+        // Drain fully: the tails must agree too.
+        loop {
+            let got = wheel.pop();
+            let want = reference.pop().map(|Reverse(p)| p);
+            prop_assert_eq!(got.map(|(t, s)| (t.as_nanos(), s)), want);
+            if want.is_none() {
+                break;
+            }
+        }
+        prop_assert!(wheel.is_empty());
+    }
+}

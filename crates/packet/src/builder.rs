@@ -22,6 +22,23 @@ pub fn build_udp(
     dst_port: u16,
     payload: &[u8],
 ) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    build_udp_into(&mut buf, src, dst, dscp, src_port, dst_port, payload)?;
+    Ok(buf)
+}
+
+/// Builds `IP(UDP(payload))` into a caller-supplied buffer (cleared
+/// first) — the allocation-free path for pooled frame buffers.
+#[allow(clippy::too_many_arguments)]
+pub fn build_udp_into(
+    buf: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    dscp: u8,
+    src_port: u16,
+    dst_port: u16,
+    payload: &[u8],
+) -> Result<()> {
     let udp = UdpRepr {
         src_port,
         dst_port,
@@ -35,13 +52,14 @@ pub fn build_udp(
         ttl: DEFAULT_TTL,
         payload_len: udp.buffer_len(),
     };
-    let mut buf = vec![0u8; ip.buffer_len()];
-    ip.emit(&mut buf)?;
+    buf.clear();
+    buf.resize(ip.buffer_len(), 0);
+    ip.emit(buf)?;
     udp.emit(&mut buf[20..])?;
     buf[20 + UDP_HEADER_LEN..].copy_from_slice(payload);
     let mut udp_view = UdpPacket::new_unchecked(&mut buf[20..]);
     udp_view.fill_checksum(src, dst);
-    Ok(buf)
+    Ok(())
 }
 
 /// Builds `IP(SHIM(payload))` — the neutralized packet format.
@@ -52,6 +70,21 @@ pub fn build_shim(
     shim: &ShimRepr,
     payload: &[u8],
 ) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    build_shim_into(&mut buf, src, dst, dscp, shim, payload)?;
+    Ok(buf)
+}
+
+/// Builds `IP(SHIM(payload))` into a caller-supplied buffer (cleared
+/// first) — the allocation-free path for pooled frame buffers.
+pub fn build_shim_into(
+    buf: &mut Vec<u8>,
+    src: Ipv4Addr,
+    dst: Ipv4Addr,
+    dscp: u8,
+    shim: &ShimRepr,
+    payload: &[u8],
+) -> Result<()> {
     let shim_len = shim.header_len();
     let ip = Ipv4Repr {
         src,
@@ -61,11 +94,12 @@ pub fn build_shim(
         ttl: DEFAULT_TTL,
         payload_len: shim_len + payload.len(),
     };
-    let mut buf = vec![0u8; ip.buffer_len()];
-    ip.emit(&mut buf)?;
+    buf.clear();
+    buf.resize(ip.buffer_len(), 0);
+    ip.emit(buf)?;
     shim.emit(&mut buf[20..])?;
     buf[20 + shim_len..].copy_from_slice(payload);
-    Ok(buf)
+    Ok(())
 }
 
 /// A cracked `IP(UDP(...))` packet.

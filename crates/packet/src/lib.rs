@@ -24,7 +24,10 @@ pub mod ip;
 pub mod shim;
 pub mod udp;
 
-pub use builder::{build_shim, build_udp, parse_shim, parse_udp, ParsedShim, ParsedUdp};
+pub use builder::{
+    build_shim, build_shim_into, build_udp, build_udp_into, parse_shim, parse_udp, ParsedShim,
+    ParsedUdp,
+};
 pub use error::{PacketError, Result};
 pub use ip::{dscp, ecn, proto, Ipv4Addr, Ipv4Cidr, Ipv4Packet, Ipv4Repr};
 pub use shim::{flags as shim_flags, KeyStamp, ShimPacket, ShimRepr, ShimType};
