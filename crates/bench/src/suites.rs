@@ -452,6 +452,22 @@ pub fn matrix() {
             black_box(run_matrix_with_threads(black_box(&spec), threads));
         });
     }
+
+    // Planning-layer cost: lazily expanding the full 1152-cell spec into
+    // an 8-shard plan — every cell's axis decomposition, spec clones and
+    // FNV seed hash, but none of the simulation. This is the per-shard
+    // fixed overhead a worker pays before its first cell runs.
+    let full = nn_lab::named_matrix("full").expect("full matrix exists");
+    bench("matrix_plan_full_1152cells_8shards", iters(200), || {
+        let plan = nn_lab::ExecutionPlan::new(black_box(&full), 8);
+        let mut mix = 0u64;
+        for assignment in plan.assignments() {
+            for cell in assignment.cells(plan.spec()) {
+                mix ^= cell.cell.seed;
+            }
+        }
+        black_box(mix);
+    });
 }
 
 /// The link-pipeline hot path: one simulated link draining 1000

@@ -142,6 +142,42 @@ impl CellFlow {
             ("ce_marks", Json::UInt(self.ce_marks)),
         ])
     }
+
+    /// Parses one flow back from its JSON object (the shard wire
+    /// format). `null` metrics — the writer's rendering of non-finite
+    /// floats — come back as NaN, so render(parse(x)) reproduces the
+    /// original bytes.
+    pub fn from_json(v: &Json) -> Result<CellFlow, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("flow missing {k:?}"));
+        let num = |k: &str| {
+            let j = field(k)?;
+            match j {
+                Json::Null => Ok(f64::NAN),
+                _ => j
+                    .as_f64()
+                    .ok_or_else(|| format!("flow field {k:?} is not a number")),
+            }
+        };
+        let uint = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("flow field {k:?} malformed"))
+        };
+        Ok(CellFlow {
+            flow: field("flow")?
+                .as_str()
+                .ok_or("flow field \"flow\" is not a string")?
+                .to_string(),
+            tx_packets: uint("tx_packets")?,
+            rx_packets: uint("rx_packets")?,
+            delivery_ratio: num("delivery_ratio")?,
+            goodput_bps: num("goodput_bps")?,
+            mean_delay_ms: num("mean_delay_ms")?,
+            p99_delay_ms: num("p99_delay_ms")?,
+            jitter_ms: num("jitter_ms")?,
+            ce_marks: uint("ce_marks")?,
+        })
+    }
 }
 
 /// The canonical JSON array for named counters (`[{name, value}, …]`).
@@ -157,6 +193,25 @@ pub fn counters_to_json(counters: &[(String, u64)]) -> Json {
             })
             .collect(),
     )
+}
+
+/// Parses a counters array back from [`counters_to_json`]'s format.
+pub fn counters_from_json(v: &Json) -> Result<Vec<(String, u64)>, String> {
+    v.as_arr()
+        .ok_or("counters are not an array")?
+        .iter()
+        .map(|c| {
+            let name = c
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("counter missing name")?;
+            let value = c
+                .get("value")
+                .and_then(Json::as_u64)
+                .ok_or("counter missing value")?;
+            Ok((name.to_string(), value))
+        })
+        .collect()
 }
 
 /// The outcome of one cell run.

@@ -1,0 +1,88 @@
+//! The finalization layer: baseline-relative metrics over the complete
+//! cell set.
+//!
+//! [`RelativeMetrics`](crate::matrix::RelativeMetrics) compare a cell
+//! against the `(adversary = none, stack = plain)` cell of the same
+//! topology, link, workload and seed-axis group — context that spans
+//! shards (a shard rarely holds both a cell and its baseline). Keeping
+//! this pass out of the run loop is what makes sharding possible at all:
+//! workers emit raw metrics only, and relatives are computed here, once,
+//! after [`crate::shard::merge_shards`] has reassembled every cell.
+//!
+//! Grouping compares the actual axis *specs* re-expanded from the
+//! [`ExperimentSpec`] (not display names, which may drop parameters —
+//! two dumbbells with different bottlenecks must not share a baseline),
+//! so finalization needs the spec the cells were planned from.
+
+use crate::adversary::AdversarySpec;
+use crate::cell::StackKind;
+use crate::link::LinkProfileSpec;
+use crate::matrix::{ExperimentSpec, MatrixCell, RelativeMetrics};
+use crate::topology::TopologySpec;
+use crate::workload::WorkloadSpec;
+
+/// One baseline cell's group identity and headline metrics.
+struct Baseline {
+    topology: TopologySpec,
+    link: LinkProfileSpec,
+    workload: WorkloadSpec,
+    seed_axis: u64,
+    goodput: f64,
+    delay: f64,
+    jitter: f64,
+}
+
+/// Computes baseline-relative metrics in place over the complete,
+/// expansion-ordered cell set of `spec`.
+///
+/// # Panics
+///
+/// Panics if `cells` is not exactly `spec`'s expansion (length or index
+/// mismatch) — merged shard sets must be validated before finalization.
+pub fn finalize_relative(cells: &mut [MatrixCell], spec: &ExperimentSpec) {
+    assert_eq!(
+        cells.len(),
+        spec.cell_count(),
+        "finalize needs the complete cell set"
+    );
+    // Pass 1: collect every baseline cell's group identity and metrics.
+    // Expansion is lazy both times — the spec's cross product is never
+    // materialized.
+    let mut baselines: Vec<Baseline> = Vec::new();
+    for mc in spec.iter_cells() {
+        let c = &cells[mc.index];
+        assert_eq!(c.index, mc.index, "cells must be in expansion order");
+        if mc.cell.adversary == AdversarySpec::None && mc.cell.stack == StackKind::Plain {
+            baselines.push(Baseline {
+                topology: mc.cell.topology,
+                link: mc.cell.link,
+                workload: mc.cell.workload,
+                seed_axis: mc.seed_axis,
+                goodput: c.report.goodput_bps(),
+                delay: c.report.mean_delay_ms(),
+                jitter: c.report.jitter_ms(),
+            });
+        }
+    }
+    // Pass 2: match each cell to the first baseline of its group, when
+    // the matrix has one. The assignment is unconditional — this pass
+    // *owns* the field, so a stray `relative` smuggled in through an
+    // edited shard file can never survive into the finalized report.
+    for mc in spec.iter_cells() {
+        let base = baselines.iter().find(|b| {
+            b.topology == mc.cell.topology
+                && b.link == mc.cell.link
+                && b.workload == mc.cell.workload
+                && b.seed_axis == mc.seed_axis
+        });
+        let cell = &mut cells[mc.index];
+        cell.relative = base.filter(|b| b.goodput > 0.0).map(|b| {
+            let ratio = |v: f64, base: f64| if base > 0.0 { v / base } else { 0.0 };
+            RelativeMetrics {
+                goodput_ratio: cell.report.goodput_bps() / b.goodput,
+                mean_delay_ratio: ratio(cell.report.mean_delay_ms(), b.delay),
+                jitter_ratio: ratio(cell.report.jitter_ms(), b.jitter),
+            }
+        });
+    }
+}

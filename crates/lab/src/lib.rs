@@ -23,23 +23,38 @@
 //! * [`hosts`] — the plain and neutralized (§3.2) endpoint stacks every
 //!   workload runs over.
 //! * [`cell`] — one deterministic simulation of one axis combination.
-//! * [`matrix`] — spec expansion, hashed per-cell seeds, the
-//!   multi-threaded runner, and JSON/CSV reports.
+//! * [`matrix`] — the spec, hashed per-cell seeds, named matrices, and
+//!   JSON/CSV reports.
 //! * [`json`] — minimal hand-rolled JSON (the workspace builds offline).
 //!
-//! The `nn-lab` binary runs a named matrix and writes
-//! `BENCH_matrix.json`; the legacy `nn-apps` scenarios are thin presets
-//! over [`cell::run_cell`].
+//! Running a matrix is a pipeline of four explicit layers, so a sweep
+//! can be split across processes — or hosts — and reassembled later:
+//!
+//! * [`plan`] — lazy expansion of a spec into indexed cells and their
+//!   strided partitioning into [`plan::CellAssignment`] shards.
+//! * [`executor`] — [`executor::CellExecutor`] implementations: the
+//!   in-process thread pool and the `nn-lab --worker` process fan-out.
+//! * [`shard`] — raw per-shard results ([`shard::ShardReport`], plain
+//!   JSON files) and their strict reassembly ([`shard::merge_shards`]).
+//! * [`finalize`] — the post-merge baseline-relative metrics pass.
+//!
+//! The `nn-lab` binary runs a named matrix (optionally sharded across
+//! worker processes) and writes `BENCH_matrix.json`; the legacy
+//! `nn-apps` scenarios are thin presets over [`cell::run_cell`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adversary;
 pub mod cell;
+pub mod executor;
+pub mod finalize;
 pub mod hosts;
 pub mod json;
 pub mod link;
 pub mod matrix;
+pub mod plan;
+pub mod shard;
 pub mod topology;
 pub mod workload;
 
@@ -47,13 +62,17 @@ pub use adversary::AdversarySpec;
 pub use cell::{
     run_cell, run_cell_with_pool, CellFlow, CellReport, CellSpec, CellTuning, StackKind,
 };
+pub use executor::{run_shard, CellExecutor, ProcessExecutor, ThreadExecutor};
+pub use finalize::finalize_relative;
 pub use hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
 };
 pub use link::LinkProfileSpec;
 pub use matrix::{
-    named_matrix, run_matrix, run_matrix_with_threads, ExperimentSpec, MatrixCell, MatrixReport,
-    RelativeMetrics, NAMED_MATRICES,
+    finalize_report, named_matrix, run_matrix, run_matrix_with_threads, verify_merged_against_spec,
+    ExperimentSpec, MatrixCell, MatrixReport, RelativeMetrics, NAMED_MATRICES,
 };
+pub use plan::{CellAssignment, CellIter, ExecutionPlan};
+pub use shard::{merge_shards, MergeError, MergedMatrix, ShardReport};
 pub use topology::{TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
 pub use workload::WorkloadSpec;

@@ -7,22 +7,26 @@
 //! the cell index — no wall clock anywhere), so the same spec reproduces
 //! byte-identical reports on any machine.
 //!
-//! Cells are independent simulations, so the runner fans them out across
-//! OS threads ([`std::thread::scope`] over a shared work queue) and
-//! reassembles results in cell order. [`MatrixReport`] adds
+//! Cells are independent simulations, so running a matrix is a pipeline
+//! of four explicit layers: [`crate::plan`] expands the spec lazily and
+//! partitions it into shards, [`crate::executor`] runs each shard (an
+//! in-process thread pool or `nn-lab --worker` child processes),
+//! [`crate::shard::merge_shards`] reassembles the raw [`ShardReport`]s
+//! in expansion order, and [`crate::finalize`] computes the
 //! baseline-relative goodput/delay/jitter per cell — the baseline being
 //! the `(adversary = none, stack = plain)` cell of the same topology,
-//! workload and seed — and serializes to JSON and CSV by hand (the
-//! workspace builds offline).
+//! link, workload and seed. [`MatrixReport`] serializes to JSON and CSV
+//! by hand (the workspace builds offline).
 
 use crate::adversary::AdversarySpec;
 use crate::cell::{CellFlow, CellReport, CellSpec, CellTuning, StackKind};
+use crate::executor::{CellExecutor, ThreadExecutor};
 use crate::json::Json;
 use crate::link::LinkProfileSpec;
+use crate::plan::ExecutionPlan;
+use crate::shard::{merge_shards, MergedMatrix};
 use crate::topology::TopologySpec;
 use crate::workload::WorkloadSpec;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// The declarative description of a whole experiment matrix.
 #[derive(Debug, Clone)]
@@ -58,45 +62,18 @@ pub struct MatrixCellSpec {
 
 impl ExperimentSpec {
     /// Expands the axes into the full cross product, topology-major
-    /// (then link-major: the environment axes vary slowest).
+    /// (then link-major: the environment axes vary slowest). This is the
+    /// eager convenience over [`ExperimentSpec::iter_cells`]; the run
+    /// path never materializes the expansion.
     pub fn cells(&self) -> Vec<MatrixCellSpec> {
-        let mut out = Vec::new();
-        for topology in &self.topologies {
-            for link in &self.links {
-                for workload in &self.workloads {
-                    for adversary in &self.adversaries {
-                        for &stack in &self.stacks {
-                            for &seed_axis in &self.seeds {
-                                let index = out.len();
-                                let sim_seed = self.cell_seed(
-                                    index, topology, link, workload, adversary, stack, seed_axis,
-                                );
-                                out.push(MatrixCellSpec {
-                                    index,
-                                    seed_axis,
-                                    cell: CellSpec {
-                                        topology: topology.clone(),
-                                        link: *link,
-                                        workload: workload.clone(),
-                                        adversary: adversary.clone(),
-                                        stack,
-                                        seed: sim_seed,
-                                    },
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
+        self.iter_cells().collect()
     }
 
     /// The deterministic simulator seed for one cell: FNV-1a over the
     /// spec name, every axis name, the seed-axis value and the cell
     /// index. No wall-clock input, so a spec reproduces exactly.
     #[allow(clippy::too_many_arguments)]
-    fn cell_seed(
+    pub(crate) fn cell_seed(
         &self,
         index: usize,
         topology: &TopologySpec,
@@ -179,6 +156,12 @@ pub struct RelativeMetrics {
 pub struct MatrixReport {
     /// Spec name.
     pub name: String,
+    /// Frame-pool allocations summed over every worker (thread- and
+    /// shard-count invariant: pool warmth changes where an allocation is
+    /// served from, never whether it happens).
+    pub pool_allocs: u64,
+    /// Frame-pool buffers recycled, summed over every worker.
+    pub pool_recycled: u64,
     /// Every cell, in expansion order.
     pub cells: Vec<MatrixCell>,
 }
@@ -192,139 +175,207 @@ pub fn run_matrix(spec: &ExperimentSpec) -> MatrixReport {
     run_matrix_with_threads(spec, threads)
 }
 
-/// Runs the matrix on exactly `threads` workers. Results are identical
-/// for any thread count: cells are independent simulations keyed only by
-/// their hashed seeds, and the report is assembled in expansion order.
+/// Runs the matrix on exactly `threads` in-process workers. Results are
+/// identical for any thread count: cells are independent simulations
+/// keyed only by their hashed seeds, and the report is assembled in
+/// expansion order. This is the plan → execute → merge → finalize
+/// pipeline with a single-shard plan and the thread executor.
 pub fn run_matrix_with_threads(spec: &ExperimentSpec, threads: usize) -> MatrixReport {
-    let cells = spec.cells();
-    let threads = threads.clamp(1, cells.len().max(1));
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<CellReport>>> = Mutex::new(vec![None; cells.len()]);
+    let plan = ExecutionPlan::new(spec, 1);
+    let shards = ThreadExecutor::new(threads)
+        .execute(&plan)
+        .expect("in-process execution is infallible");
+    let merged = merge_shards(shards).expect("a single in-process shard always merges");
+    finalize_report(merged, spec)
+}
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                // One frame pool per worker: consecutive cells reuse each
-                // other's recycled buffers (purely an allocator handoff —
-                // reports are byte-identical with or without it).
-                let mut pool = nn_netsim::FramePool::new();
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(mc) = cells.get(i) else { break };
-                    let report = crate::cell::run_cell_with_pool(&mc.cell, &spec.tuning, &mut pool);
-                    results.lock().expect("runner mutex")[i] = Some(report);
-                }
-            });
+/// The finalization step shared by every execution path: attaches
+/// baseline-relative metrics to a merged cell set and assembles the
+/// [`MatrixReport`]. The merged set must be `spec`'s complete expansion
+/// (checks the cheap invariants; run [`verify_merged_against_spec`]
+/// first when the cells crossed a process or file boundary).
+pub fn finalize_report(merged: MergedMatrix, spec: &ExperimentSpec) -> MatrixReport {
+    let MergedMatrix {
+        name,
+        pool_allocs,
+        pool_recycled,
+        mut cells,
+    } = merged;
+    crate::finalize::finalize_relative(&mut cells, spec);
+    MatrixReport {
+        name,
+        pool_allocs,
+        pool_recycled,
+        cells,
+    }
+}
+
+/// Checks that a merged cell set really is `spec`'s expansion: same
+/// name, same cell count, and every cell's simulator seed and axis names
+/// match the lazily re-expanded plan. This is the determinism contract
+/// that makes shard files portable — a merged set that passes was
+/// produced from this exact spec, wherever its shards actually ran.
+pub fn verify_merged_against_spec(
+    merged: &MergedMatrix,
+    spec: &ExperimentSpec,
+) -> Result<(), String> {
+    if merged.name != spec.name {
+        return Err(format!(
+            "merged matrix {:?} does not match spec {:?}",
+            merged.name, spec.name
+        ));
+    }
+    if merged.cells.len() != spec.cell_count() {
+        return Err(format!(
+            "merged matrix has {} cells, spec expands to {}",
+            merged.cells.len(),
+            spec.cell_count()
+        ));
+    }
+    for (cell, mc) in merged.cells.iter().zip(spec.iter_cells()) {
+        if cell.index != mc.index || cell.sim_seed != mc.cell.seed {
+            return Err(format!(
+                "cell {} (seed {}) does not match the spec's expansion \
+                 (index {}, seed {}): the shards were produced from a \
+                 different spec",
+                cell.index, cell.sim_seed, mc.index, mc.cell.seed
+            ));
         }
-    });
-
-    let reports = results.into_inner().expect("runner mutex");
-    let mut out: Vec<MatrixCell> = cells
-        .iter()
-        .zip(reports)
-        .map(|(mc, report)| MatrixCell {
-            index: mc.index,
-            topology: mc.cell.topology.name(),
-            link: mc.cell.link.name(),
-            workload: mc.cell.workload.name().to_string(),
-            adversary: mc.cell.adversary.name().to_string(),
-            stack: mc.cell.stack.name().to_string(),
-            seed_axis: mc.seed_axis,
-            sim_seed: mc.cell.seed,
-            report: report.expect("every cell ran"),
-            relative: None,
-        })
-        .collect();
-
-    // Baseline-relative metrics: the (none, plain) cell of the same
-    // (topology, link, workload, seed-axis) group, when the matrix has
-    // one. Grouping compares the actual axis *specs* (not their display
-    // names, which may drop parameters — two dumbbells with different
-    // bottlenecks must not share a baseline), and includes the link
-    // axis: a lossy cell is judged against a lossy baseline, so the
-    // ratios isolate the *adversary's* contribution.
-    let baselines: Vec<(usize, f64, f64, f64)> = cells
-        .iter()
-        .filter(|mc| mc.cell.adversary == AdversarySpec::None && mc.cell.stack == StackKind::Plain)
-        .map(|mc| {
-            let c = &out[mc.index];
-            (
-                mc.index,
-                c.report.goodput_bps(),
-                c.report.mean_delay_ms(),
-                c.report.jitter_ms(),
-            )
-        })
-        .collect();
-    for mc in &cells {
-        let base = baselines.iter().find(|&&(bi, ..)| {
-            let b = &cells[bi].cell;
-            b.topology == mc.cell.topology
-                && b.link == mc.cell.link
-                && b.workload == mc.cell.workload
-                && cells[bi].seed_axis == mc.seed_axis
-        });
-        if let Some(&(_, goodput, delay, jitter)) = base {
-            if goodput > 0.0 {
-                let cell = &mut out[mc.index];
-                let ratio = |v: f64, b: f64| if b > 0.0 { v / b } else { 0.0 };
-                cell.relative = Some(RelativeMetrics {
-                    goodput_ratio: cell.report.goodput_bps() / goodput,
-                    mean_delay_ratio: ratio(cell.report.mean_delay_ms(), delay),
-                    jitter_ratio: ratio(cell.report.jitter_ms(), jitter),
-                });
-            }
+        if cell.topology != mc.cell.topology.name()
+            || cell.link != mc.cell.link.name()
+            || cell.workload != mc.cell.workload.name()
+            || cell.adversary != mc.cell.adversary.name()
+            || cell.stack != mc.cell.stack.name()
+            || cell.seed_axis != mc.seed_axis
+        {
+            return Err(format!(
+                "cell {}'s axis names do not match the spec's expansion",
+                cell.index
+            ));
         }
     }
+    Ok(())
+}
 
-    MatrixReport {
-        name: spec.name.clone(),
-        cells: out,
+impl MatrixCell {
+    /// The canonical JSON object for one finished cell. Shard reports
+    /// set `include_relative` to `false` — raw metrics only; relatives
+    /// are cross-shard context the finalize pass owns.
+    pub fn to_json(&self, include_relative: bool) -> Json {
+        let flows: Vec<Json> = self.report.flows.iter().map(CellFlow::to_json).collect();
+        let counters = crate::cell::counters_to_json(&self.report.counters);
+        let mut pairs = vec![
+            ("index", Json::UInt(self.index as u64)),
+            ("topology", Json::Str(self.topology.clone())),
+            ("link", Json::Str(self.link.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("adversary", Json::Str(self.adversary.clone())),
+            ("stack", Json::Str(self.stack.clone())),
+            ("seed_axis", Json::UInt(self.seed_axis)),
+            ("sim_seed", Json::UInt(self.sim_seed)),
+            ("flows", Json::Arr(flows)),
+            ("replies", Json::UInt(self.report.replies)),
+            (
+                "verified_return_blocks",
+                Json::UInt(self.report.verified_return_blocks),
+            ),
+            ("policy_drops", Json::UInt(self.report.policy_drops)),
+            ("counters", counters),
+            ("events", Json::UInt(self.report.events)),
+        ];
+        if include_relative {
+            let relative = match &self.relative {
+                Some(r) => Json::obj(vec![
+                    ("goodput_ratio", Json::Num(r.goodput_ratio)),
+                    ("mean_delay_ratio", Json::Num(r.mean_delay_ratio)),
+                    ("jitter_ratio", Json::Num(r.jitter_ratio)),
+                ]),
+                None => Json::Null,
+            };
+            pairs.push(("relative", relative));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Parses one cell back from its JSON object (the shard wire
+    /// format). Round-trips exactly: the writer's shortest-roundtrip
+    /// float formatting means parse(render(x)) reproduces every metric
+    /// bit-for-bit.
+    pub fn from_json(v: &Json) -> Result<MatrixCell, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("cell missing {k:?}"));
+        let uint = |k: &str| {
+            field(k)?
+                .as_u64()
+                .ok_or_else(|| format!("cell field {k:?} malformed"))
+        };
+        let string = |k: &str| {
+            Ok::<String, String>(
+                field(k)?
+                    .as_str()
+                    .ok_or_else(|| format!("cell field {k:?} is not a string"))?
+                    .to_string(),
+            )
+        };
+        let flows = field("flows")?
+            .as_arr()
+            .ok_or("cell field \"flows\" is not an array")?
+            .iter()
+            .map(CellFlow::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let counters = crate::cell::counters_from_json(field("counters")?)?;
+        let relative = match v.get("relative") {
+            None | Some(Json::Null) => None,
+            Some(r) => {
+                let num = |k: &str| {
+                    r.get(k)
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("relative field {k:?} malformed"))
+                };
+                Some(RelativeMetrics {
+                    goodput_ratio: num("goodput_ratio")?,
+                    mean_delay_ratio: num("mean_delay_ratio")?,
+                    jitter_ratio: num("jitter_ratio")?,
+                })
+            }
+        };
+        let sim_seed = uint("sim_seed")?;
+        Ok(MatrixCell {
+            index: uint("index")? as usize,
+            topology: string("topology")?,
+            link: string("link")?,
+            workload: string("workload")?,
+            adversary: string("adversary")?,
+            stack: string("stack")?,
+            seed_axis: uint("seed_axis")?,
+            sim_seed,
+            report: CellReport {
+                seed: sim_seed,
+                flows,
+                replies: uint("replies")?,
+                verified_return_blocks: uint("verified_return_blocks")?,
+                policy_drops: uint("policy_drops")?,
+                counters,
+                events: uint("events")?,
+            },
+            relative,
+        })
     }
 }
 
 impl MatrixReport {
     /// Renders the full report as JSON.
     pub fn to_json(&self) -> String {
-        let cells: Vec<Json> = self
-            .cells
-            .iter()
-            .map(|c| {
-                let flows: Vec<Json> = c.report.flows.iter().map(CellFlow::to_json).collect();
-                let counters = crate::cell::counters_to_json(&c.report.counters);
-                let relative = match &c.relative {
-                    Some(r) => Json::obj(vec![
-                        ("goodput_ratio", Json::Num(r.goodput_ratio)),
-                        ("mean_delay_ratio", Json::Num(r.mean_delay_ratio)),
-                        ("jitter_ratio", Json::Num(r.jitter_ratio)),
-                    ]),
-                    None => Json::Null,
-                };
-                Json::obj(vec![
-                    ("index", Json::UInt(c.index as u64)),
-                    ("topology", Json::Str(c.topology.clone())),
-                    ("link", Json::Str(c.link.clone())),
-                    ("workload", Json::Str(c.workload.clone())),
-                    ("adversary", Json::Str(c.adversary.clone())),
-                    ("stack", Json::Str(c.stack.clone())),
-                    ("seed_axis", Json::UInt(c.seed_axis)),
-                    ("sim_seed", Json::UInt(c.sim_seed)),
-                    ("flows", Json::Arr(flows)),
-                    ("replies", Json::UInt(c.report.replies)),
-                    (
-                        "verified_return_blocks",
-                        Json::UInt(c.report.verified_return_blocks),
-                    ),
-                    ("policy_drops", Json::UInt(c.report.policy_drops)),
-                    ("counters", counters),
-                    ("events", Json::UInt(c.report.events)),
-                    ("relative", relative),
-                ])
-            })
-            .collect();
+        let cells: Vec<Json> = self.cells.iter().map(|c| c.to_json(true)).collect();
         Json::obj(vec![
             ("matrix", Json::Str(self.name.clone())),
             ("cell_count", Json::UInt(self.cells.len() as u64)),
+            (
+                "pool",
+                Json::obj(vec![
+                    ("allocs", Json::UInt(self.pool_allocs)),
+                    ("recycled", Json::UInt(self.pool_recycled)),
+                ]),
+            ),
             ("cells", Json::Arr(cells)),
         ])
         .render()

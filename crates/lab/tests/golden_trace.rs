@@ -17,7 +17,11 @@
 //! ```
 
 use nn_lab::matrix::{named_matrix, run_matrix_with_threads, ExperimentSpec};
-use nn_lab::{AdversarySpec, CellTuning, LinkProfileSpec, StackKind, TopologySpec, WorkloadSpec};
+use nn_lab::{
+    finalize_report, merge_shards, run_shard, verify_merged_against_spec, AdversarySpec,
+    CellTuning, ExecutionPlan, LinkProfileSpec, MatrixReport, ShardReport, StackKind, TopologySpec,
+    WorkloadSpec,
+};
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
@@ -93,4 +97,40 @@ fn congested_matrix_json_matches_golden_at_any_thread_count() {
     );
     assert_golden("congested_matrix.json", &one.to_json());
     assert_golden("congested_matrix.csv", &one.to_csv());
+}
+
+/// Runs `spec` as `shards` independent shards, round-trips every
+/// [`ShardReport`] through its JSON wire format (exactly what worker
+/// processes emit), then merges and finalizes — the full sharded
+/// pipeline minus the process boundary.
+fn run_sharded_via_wire(spec: &ExperimentSpec, shards: usize) -> MatrixReport {
+    let plan = ExecutionPlan::new(spec, shards);
+    let shard_reports: Vec<ShardReport> = plan
+        .assignments()
+        .iter()
+        .map(|a| {
+            let wire = run_shard(spec, a, 2).to_json();
+            ShardReport::from_json(&wire).expect("shard wire format round-trips")
+        })
+        .collect();
+    let merged = merge_shards(shard_reports).expect("complete shard set merges");
+    verify_merged_against_spec(&merged, spec).expect("shards came from this spec");
+    finalize_report(merged, spec)
+}
+
+/// The acceptance gate: the sharded pipeline — strided plan, per-shard
+/// execution, ShardReport JSON round-trip, merge, post-merge
+/// finalization — must be byte-identical to the single-process golden
+/// for both pinned matrices.
+#[test]
+fn sharded_runs_match_the_single_process_goldens() {
+    let smoke = named_matrix("smoke").expect("smoke matrix exists");
+    let sharded = run_sharded_via_wire(&smoke, 3);
+    assert_golden("smoke_matrix.json", &sharded.to_json());
+    assert_golden("smoke_matrix.csv", &sharded.to_csv());
+
+    let congested = congested_story_spec();
+    let sharded = run_sharded_via_wire(&congested, 4);
+    assert_golden("congested_matrix.json", &sharded.to_json());
+    assert_golden("congested_matrix.csv", &sharded.to_csv());
 }
