@@ -4,7 +4,7 @@
 //! nn-scenarios [--seed N] [--duration-ms N] [--scenario NAME] [--json] [--list]
 //! ```
 //!
-//! With no arguments all three scenarios run under the default seed and
+//! With no arguments every scenario runs under the default seed and
 //! the tool prints per-flow goodput/delay plus the recovery summary.
 //! `--json` replaces the human-readable report with a machine-readable
 //! JSON array of `ScenarioReport`s; `--list` prints the scenario names
@@ -84,9 +84,17 @@ fn main() {
     }
 
     if only.is_none() {
-        let baseline = results[0].goodput_bps();
-        let throttled = results[1].goodput_bps();
-        let neutralized = results[2].goodput_bps();
+        let by_name = |name: &str| {
+            results
+                .iter()
+                .find(|r| r.scenario == name)
+                .map(|r| r.goodput_bps())
+                .unwrap_or(0.0)
+        };
+        let baseline = by_name("baseline");
+        let throttled = by_name("dpi-throttled-plain");
+        let neutralized = by_name("dpi-throttled-neutralized");
+        let flaky = by_name("flaky-isp");
         let pct = |v: f64| {
             if baseline > 0.0 {
                 format!("({:.0}% of baseline)", 100.0 * v / baseline)
@@ -105,6 +113,11 @@ fn main() {
             "  with neutralizer      {:>9.1} kbit/s {}",
             neutralized / 1e3,
             pct(neutralized)
+        );
+        println!(
+            "  flaky ISP (failover)  {:>9.1} kbit/s {}",
+            flaky / 1e3,
+            pct(flaky)
         );
     }
 }

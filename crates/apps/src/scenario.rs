@@ -19,6 +19,11 @@
 //!   source runs the §3.2 neutralized stack: the payload is end-to-end
 //!   encrypted and the destination hidden, so content DPI has nothing to
 //!   match and goodput recovers.
+//! * [`Scenario::FlakyIsp`] — the §3.5 failover story: the multihomed
+//!   topology (two neutral providers), the same DPI ISP, and a
+//!   partition that severs the primary provider's path mid-run; the
+//!   neutralized source detects the silent provider and steers to the
+//!   fallback neutralizer, so goodput survives the outage.
 //!
 //! Each scenario maps onto exactly one [`nn_lab::CellSpec`] — the legacy
 //! chain topology, the VoIP workload, the content-DPI adversary preset
@@ -28,8 +33,8 @@
 
 use nn_lab::json::Json;
 use nn_lab::{
-    run_cell, AdversarySpec, CellSpec, CellTuning, LinkProfileSpec, StackKind, TopologySpec,
-    WorkloadSpec,
+    run_cell, AdversarySpec, CellSpec, CellTuning, EventTimelineSpec, LinkProfileSpec, StackKind,
+    TopologySpec, WorkloadSpec,
 };
 use std::fmt;
 use std::time::Duration;
@@ -105,7 +110,7 @@ impl ScenarioConfig {
     }
 }
 
-/// The three named scenarios.
+/// The named scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scenario {
     /// Plain UDP, neutral network.
@@ -114,14 +119,21 @@ pub enum Scenario {
     DpiThrottledPlain,
     /// Neutralized transport through the same DPI-throttling ISP.
     DpiThrottledNeutralized,
+    /// Neutralized transport on the multihomed topology, through the
+    /// same DPI ISP, while a partition takes the primary provider's
+    /// path down mid-run (§3.5's failover story): the source detects the
+    /// silent provider and steers to the fallback neutralizer, so
+    /// goodput recovers instead of collapsing with the partition.
+    FlakyIsp,
 }
 
 impl Scenario {
     /// All scenarios in canonical run order.
-    pub const ALL: [Scenario; 3] = [
+    pub const ALL: [Scenario; 4] = [
         Scenario::Baseline,
         Scenario::DpiThrottledPlain,
         Scenario::DpiThrottledNeutralized,
+        Scenario::FlakyIsp,
     ];
 
     /// Stable scenario name (CLI argument and report header).
@@ -130,6 +142,7 @@ impl Scenario {
             Scenario::Baseline => "baseline",
             Scenario::DpiThrottledPlain => "dpi-throttled-plain",
             Scenario::DpiThrottledNeutralized => "dpi-throttled-neutralized",
+            Scenario::FlakyIsp => "flaky-isp",
         }
     }
 
@@ -142,7 +155,7 @@ impl Scenario {
     }
 
     fn neutralized(self) -> bool {
-        matches!(self, Scenario::DpiThrottledNeutralized)
+        matches!(self, Scenario::DpiThrottledNeutralized | Scenario::FlakyIsp)
     }
 
     fn discriminates(self) -> bool {
@@ -152,7 +165,11 @@ impl Scenario {
     /// The lab cell this scenario is a preset for.
     pub fn cell_spec(self, cfg: &ScenarioConfig) -> CellSpec {
         CellSpec {
-            topology: TopologySpec::chain(),
+            topology: if self == Scenario::FlakyIsp {
+                TopologySpec::Multihomed
+            } else {
+                TopologySpec::chain()
+            },
             // The legacy scenarios ran on clean wires; the matrix's
             // `link` axis is where impaired variants live.
             link: LinkProfileSpec::Clean,
@@ -172,6 +189,13 @@ impl Scenario {
                 StackKind::Neutralized
             } else {
                 StackKind::Plain
+            },
+            // The legacy presets run on a static network; only the
+            // flaky-ISP story schedules a timeline.
+            events: if self == Scenario::FlakyIsp {
+                EventTimelineSpec::PartitionHeal
+            } else {
+                EventTimelineSpec::Static
             },
             seed: cfg.seed,
         }
@@ -336,6 +360,38 @@ mod tests {
         assert!(
             neutralized.verified_return_blocks > 0,
             "anonymized return path verified"
+        );
+    }
+
+    #[test]
+    fn flaky_isp_fails_over_and_recovers() {
+        let baseline = run_scenario(Scenario::Baseline, &cfg());
+        let flaky = run_scenario(Scenario::FlakyIsp, &cfg());
+        let failovers = flaky
+            .counters
+            .iter()
+            .find(|(n, _)| n == "source.failovers")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert!(failovers >= 1, "the partition must trigger a failover");
+        assert!(
+            flaky
+                .counters
+                .iter()
+                .any(|(n, v)| n == "neutralizer-b.data_forwarded" && *v > 0),
+            "traffic must actually flow through the fallback provider: {flaky}"
+        );
+        assert_eq!(
+            flaky.policy_drops, 0,
+            "neutralization still defeats the DPI on the fallback path"
+        );
+        // The headline claim: failover + neutralization keep goodput at
+        // or above 80% of the undisturbed baseline despite the partition.
+        assert!(
+            flaky.goodput_bps() >= baseline.goodput_bps() * 0.8,
+            "failover must restore goodput: flaky {} vs baseline {}",
+            flaky.goodput_bps(),
+            baseline.goodput_bps()
         );
     }
 

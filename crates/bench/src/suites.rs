@@ -408,8 +408,8 @@ pub fn ablation_stateless() {
 pub fn matrix() {
     header("matrix");
     use nn_lab::{
-        run_cell, run_matrix_with_threads, AdversarySpec, CellSpec, CellTuning, ExperimentSpec,
-        LinkProfileSpec, StackKind, TopologySpec, WorkloadSpec,
+        run_cell, run_matrix_with_threads, AdversarySpec, CellSpec, CellTuning, EventTimelineSpec,
+        ExperimentSpec, LinkProfileSpec, StackKind, TopologySpec, WorkloadSpec,
     };
     use std::time::Duration;
 
@@ -423,6 +423,7 @@ pub fn matrix() {
         workload: WorkloadSpec::voip_default(),
         adversary: AdversarySpec::content_dpi_default(),
         stack: StackKind::Plain,
+        events: EventTimelineSpec::Static,
         seed: 1,
     };
     bench("cell_plain_dpi_200ms", iters(20), || {
@@ -444,6 +445,7 @@ pub fn matrix() {
         workloads: vec![WorkloadSpec::voip_default()],
         adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
         stacks: vec![StackKind::Plain],
+        events: vec![EventTimelineSpec::Static],
         seeds: vec![1],
         tuning,
     };

@@ -381,11 +381,17 @@ impl NeutralizerNode {
         } else {
             None
         };
+        // The addr_block is free on the inside leg (the sealed
+        // destination was just opened), so stamp the serving provider's
+        // service address into it: a multihomed customer returns traffic
+        // via whichever neutralizer actually forwarded the session's
+        // packets (§3.5), which is what makes mid-run provider failover
+        // transparent to the destination.
         let shim = ShimRepr {
             shim_type: ShimType::Data,
             flags: parsed.shim.flags & shim_flags::KEY_REQUEST,
             nonce: parsed.shim.nonce,
-            addr_block: ShimRepr::EMPTY_BLOCK,
+            addr_block: ShimRepr::plain_addr_block(self.config.anycast),
             stamp,
         };
         // DSCP is preserved (§3.4): tiered service still works. So is

@@ -340,8 +340,17 @@ fn write_reports(args: &Args, report: &MatrixReport) {
 fn print_summary(report: &MatrixReport) {
     println!("matrix: {} ({} cells)", report.name, report.cells.len());
     println!(
-        "  {:<19} {:<23} {:<8} {:<16} {:<12} {:>6} {:>12} {:>9} {:>8}",
-        "topology", "link", "workload", "adversary", "stack", "seed", "goodput", "vs-base", "drops"
+        "  {:<19} {:<23} {:<8} {:<16} {:<12} {:<14} {:>6} {:>12} {:>9} {:>8}",
+        "topology",
+        "link",
+        "workload",
+        "adversary",
+        "stack",
+        "events",
+        "seed",
+        "goodput",
+        "vs-base",
+        "drops"
     );
     for c in &report.cells {
         let rel = c
@@ -349,12 +358,13 @@ fn print_summary(report: &MatrixReport) {
             .map(|r| format!("{:>8.1}%", r.goodput_ratio * 100.0))
             .unwrap_or_else(|| "       -".to_string());
         println!(
-            "  {:<19} {:<23} {:<8} {:<16} {:<12} {:>6} {:>9.1} kb {} {:>8}",
+            "  {:<19} {:<23} {:<8} {:<16} {:<12} {:<14} {:>6} {:>9.1} kb {} {:>8}",
             c.topology,
             c.link,
             c.workload,
             c.adversary,
             c.stack,
+            c.events,
             c.seed_axis,
             c.report.goodput_bps() / 1e3,
             rel,

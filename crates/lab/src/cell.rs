@@ -8,12 +8,16 @@
 //! report to the pre-refactor harness.
 
 use crate::adversary::AdversarySpec;
+use crate::events::EventTimelineSpec;
 use crate::hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
 };
 use crate::json::Json;
 use crate::link::LinkProfileSpec;
-use crate::topology::{BuiltTopology, TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
+use crate::topology::{
+    secondary_dyn_pool, BuiltTopology, SecondaryProvider, TopologySpec, ANYCAST_ADDR, DST_ADDR,
+    SECONDARY_ANYCAST, SRC_ADDR,
+};
 use crate::workload::WorkloadSpec;
 use nn_core::app::ScriptedApp;
 use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
@@ -47,7 +51,7 @@ impl StackKind {
     }
 }
 
-/// One cell: the five experiment axes plus the simulator seed.
+/// One cell: the six experiment axes plus the simulator seed.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     /// Network shape.
@@ -60,6 +64,8 @@ pub struct CellSpec {
     pub adversary: AdversarySpec,
     /// Host stack.
     pub stack: StackKind,
+    /// Dynamic-event timeline the network suffers mid-run.
+    pub events: EventTimelineSpec,
     /// Simulator seed; every random choice flows from it.
     pub seed: u64,
 }
@@ -281,7 +287,7 @@ fn resolve_bootstrap(zone: &ZoneStore, cache: &mut DnsCache, now: SimTime) -> Bo
     };
     Bootstrap {
         dest,
-        neutralizer: info.neutralizers[0],
+        neutralizers: info.neutralizers.clone(),
         dest_pubkey: pubkey,
     }
 }
@@ -324,7 +330,9 @@ pub fn run_cell_with_pool(
             name,
             300,
             RecordData::Neut(NeutInfo {
-                neutralizers: vec![ANYCAST_ADDR],
+                // A multihomed destination lists one service address per
+                // provider, primary first (§3.5).
+                neutralizers: spec.topology.neut_addrs(),
                 pubkey_wire: dest_keypair.public.to_wire(),
             }),
         ));
@@ -352,14 +360,25 @@ pub fn run_cell_with_pool(
     } else {
         Box::new(PlainSourceNode::new(SRC_ADDR, DST_ADDR, 0, flow, app))
     };
+    let master_key = derive_master_key(spec.seed);
     let neut_config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
     // Route the neutralizer's dynamic QoS pool (§3.4) wherever the config
     // puts it, rather than duplicating the literal here.
     let dyn_pool = neut_config.dyn_pool;
-    let neut_node: Box<dyn Node> = Box::new(NeutralizerNode::new(
-        neut_config,
-        derive_master_key(spec.seed),
-    ));
+    let neut_node: Box<dyn Node> = Box::new(NeutralizerNode::new(neut_config, master_key));
+    // The multihomed shape gets a second provider sharing the master key
+    // (the neutralizers are stateless, §3: either can serve any session,
+    // which is exactly what makes mid-run failover free).
+    let secondary = matches!(spec.topology, TopologySpec::Multihomed).then(|| {
+        let mut config_b =
+            NeutralizerConfig::new(SECONDARY_ANYCAST, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+        config_b.dyn_pool = secondary_dyn_pool();
+        config_b.stats_name = "neutralizer-b".to_string();
+        SecondaryProvider {
+            dyn_pool: config_b.dyn_pool,
+            node: Box::new(NeutralizerNode::new(config_b, master_key)),
+        }
+    });
     let dst_node: Box<dyn Node> = if let Some((_, dest_keypair)) = bootstrap_and_keys {
         Box::new(NeutralizedServerNode::new(
             DST_ADDR,
@@ -372,7 +391,7 @@ pub fn run_cell_with_pool(
     };
 
     let built: BuiltTopology = spec.topology.build(
-        &mut sim, src_node, neut_node, dst_node, dyn_pool, &spec.link,
+        &mut sim, src_node, neut_node, secondary, dst_node, dyn_pool, &spec.link,
     );
 
     // The discriminatory policy goes on the topology's designated
@@ -384,6 +403,14 @@ pub fn run_cell_with_pool(
         sim.node_mut::<RouterNode>(built.discriminator)
             .expect("discriminator is a router")
             .set_policy(policy);
+    }
+
+    // The events axis: lower the preset against the built shape and
+    // schedule it on the wheel, where it interleaves deterministically
+    // with traffic.
+    let timeline = spec.events.lower(&built, tuning.duration);
+    if !timeline.is_empty() {
+        sim.install_timeline(timeline);
     }
 
     // Run: schedule length plus grace for handshake and queue drain.
@@ -415,7 +442,13 @@ pub fn run_cell_with_pool(
         "neutralizer.data_forwarded",
         "neutralizer.return_anonymized",
         "neutralizer.transit",
+        "neutralizer-b.setup_served",
+        "neutralizer-b.data_forwarded",
+        "neutralizer-b.return_anonymized",
         "source.established",
+        "source.failovers",
+        "events.applied",
+        "events.pause_drops",
     ]
     .into_iter()
     .map(|name| (name.to_string(), sim.stats().counter(name)))
@@ -479,6 +512,7 @@ mod tests {
             workload: WorkloadSpec::voip_default(),
             adversary,
             stack,
+            events: EventTimelineSpec::Static,
             seed: 7,
         }
     }
@@ -608,6 +642,7 @@ mod tests {
             workload: WorkloadSpec::voip_default(),
             adversary,
             stack,
+            events: EventTimelineSpec::Static,
             seed: 5,
         };
         let baseline = run_cell(&mk(AdversarySpec::None, StackKind::Plain), &tuning);

@@ -1,0 +1,149 @@
+//! The dynamic-events axis of the experiment matrix.
+//!
+//! An [`EventTimelineSpec`] is a named preset that lowers onto a
+//! concrete [`nn_netsim::EventTimeline`] against a built topology: the
+//! preset names *what kind* of dynamics a cell suffers, and the lowering
+//! targets the shape's designated bottleneck / primary path / neutralizer
+//! so the same preset is meaningful in every topology. All event times
+//! are fixed fractions of the cell duration, so two cells with the same
+//! axes and seed replay byte-identical timelines.
+
+use crate::topology::BuiltTopology;
+use nn_netsim::{EventTimeline, NetEvent, SimTime};
+use std::time::Duration;
+
+/// One point on the events axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventTimelineSpec {
+    /// No dynamic events — the network of every pre-events matrix.
+    Static,
+    /// The bottleneck link flaps twice: down at 25% and 62.5% of the
+    /// duration, back up at 50% and 75%.
+    Flap,
+    /// The topology's primary path (for single-provider shapes: the
+    /// source itself) is partitioned off at 30% of the duration and
+    /// healed at 65% — the flaky-ISP story.
+    PartitionHeal,
+    /// The neutralizer goes dark (node pause) at 30% of the duration and
+    /// restarts at 65% — the §3.5 provider-outage story.
+    NeutOutage,
+}
+
+impl EventTimelineSpec {
+    /// Stable axis name (report column, seed-hash input).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventTimelineSpec::Static => "static",
+            EventTimelineSpec::Flap => "flap",
+            EventTimelineSpec::PartitionHeal => "partition-heal",
+            EventTimelineSpec::NeutOutage => "neut-outage",
+        }
+    }
+
+    /// Parses an axis name back into its preset.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "static" => Some(EventTimelineSpec::Static),
+            "flap" => Some(EventTimelineSpec::Flap),
+            "partition-heal" => Some(EventTimelineSpec::PartitionHeal),
+            "neut-outage" => Some(EventTimelineSpec::NeutOutage),
+            _ => None,
+        }
+    }
+
+    /// Lowers the preset onto a concrete timeline for `built`, with all
+    /// event times as fixed fractions of `duration`.
+    pub fn lower(self, built: &BuiltTopology, duration: Duration) -> EventTimeline {
+        let d = duration.as_nanos() as u64;
+        let frac = |num: u64, den: u64| SimTime(d * num / den);
+        let (bneck_node, bneck_iface) = built.bottleneck;
+        match self {
+            EventTimelineSpec::Static => EventTimeline::new(),
+            EventTimelineSpec::Flap => EventTimeline::new()
+                .at(
+                    frac(1, 4),
+                    NetEvent::LinkDown {
+                        node: bneck_node,
+                        iface: bneck_iface,
+                    },
+                )
+                .at(
+                    frac(1, 2),
+                    NetEvent::LinkUp {
+                        node: bneck_node,
+                        iface: bneck_iface,
+                    },
+                )
+                .at(
+                    frac(5, 8),
+                    NetEvent::LinkDown {
+                        node: bneck_node,
+                        iface: bneck_iface,
+                    },
+                )
+                .at(
+                    frac(3, 4),
+                    NetEvent::LinkUp {
+                        node: bneck_node,
+                        iface: bneck_iface,
+                    },
+                ),
+            EventTimelineSpec::PartitionHeal => {
+                let group = if built.primary_path.is_empty() {
+                    vec![built.src]
+                } else {
+                    built.primary_path.clone()
+                };
+                EventTimeline::new()
+                    .at(
+                        frac(3, 10),
+                        NetEvent::Partition {
+                            group: group.clone(),
+                        },
+                    )
+                    .at(frac(13, 20), NetEvent::Heal { group })
+            }
+            EventTimelineSpec::NeutOutage => EventTimeline::new()
+                .at(frac(3, 10), NetEvent::NodePause { node: built.neut })
+                .at(frac(13, 20), NetEvent::NodeResume { node: built.neut }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for spec in [
+            EventTimelineSpec::Static,
+            EventTimelineSpec::Flap,
+            EventTimelineSpec::PartitionHeal,
+            EventTimelineSpec::NeutOutage,
+        ] {
+            assert_eq!(EventTimelineSpec::from_name(spec.name()), Some(spec));
+        }
+        assert_eq!(EventTimelineSpec::from_name("nope"), None);
+    }
+
+    #[test]
+    fn presets_lower_to_expected_shapes() {
+        let (_, built) = crate::topology::tests::build_for_test(&crate::TopologySpec::chain());
+        let d = Duration::from_millis(800);
+        assert!(EventTimelineSpec::Static.lower(&built, d).is_empty());
+        let flap = EventTimelineSpec::Flap.lower(&built, d);
+        assert_eq!(flap.len(), 4);
+        assert_eq!(flap.entries()[0].0, SimTime::from_millis(200));
+        assert_eq!(flap.entries()[3].0, SimTime::from_millis(600));
+        // Single-provider shapes partition the source itself.
+        let part = EventTimelineSpec::PartitionHeal.lower(&built, d);
+        assert!(
+            matches!(&part.entries()[0].1, NetEvent::Partition { group } if group == &[built.src])
+        );
+        let outage = EventTimelineSpec::NeutOutage.lower(&built, d);
+        assert!(
+            matches!(outage.entries()[0].1, NetEvent::NodePause { node } if node == built.neut)
+        );
+    }
+}

@@ -43,6 +43,7 @@ fn to_matrix_cell(mc: &MatrixCellSpec, report: crate::cell::CellReport) -> Matri
         workload: mc.cell.workload.name().to_string(),
         adversary: mc.cell.adversary.name().to_string(),
         stack: mc.cell.stack.name().to_string(),
+        events: mc.cell.events.name().to_string(),
         seed_axis: mc.seed_axis,
         sim_seed: mc.cell.seed,
         report,

@@ -3,7 +3,7 @@
 //!
 //! [`RelativeMetrics`](crate::matrix::RelativeMetrics) compare a cell
 //! against the `(adversary = none, stack = plain)` cell of the same
-//! topology, link, workload and seed-axis group — context that spans
+//! topology, link, workload, events and seed-axis group — context that spans
 //! shards (a shard rarely holds both a cell and its baseline). Keeping
 //! this pass out of the run loop is what makes sharding possible at all:
 //! workers emit raw metrics only, and relatives are computed here, once,
@@ -16,6 +16,7 @@
 
 use crate::adversary::AdversarySpec;
 use crate::cell::StackKind;
+use crate::events::EventTimelineSpec;
 use crate::link::LinkProfileSpec;
 use crate::matrix::{ExperimentSpec, MatrixCell, RelativeMetrics};
 use crate::topology::TopologySpec;
@@ -26,6 +27,7 @@ struct Baseline {
     topology: TopologySpec,
     link: LinkProfileSpec,
     workload: WorkloadSpec,
+    events: EventTimelineSpec,
     seed_axis: u64,
     goodput: f64,
     delay: f64,
@@ -57,6 +59,7 @@ pub fn finalize_relative(cells: &mut [MatrixCell], spec: &ExperimentSpec) {
                 topology: mc.cell.topology,
                 link: mc.cell.link,
                 workload: mc.cell.workload,
+                events: mc.cell.events,
                 seed_axis: mc.seed_axis,
                 goodput: c.report.goodput_bps(),
                 delay: c.report.mean_delay_ms(),
@@ -73,6 +76,7 @@ pub fn finalize_relative(cells: &mut [MatrixCell], spec: &ExperimentSpec) {
             b.topology == mc.cell.topology
                 && b.link == mc.cell.link
                 && b.workload == mc.cell.workload
+                && b.events == mc.cell.events
                 && b.seed_axis == mc.seed_axis
         });
         let cell = &mut cells[mc.index];

@@ -17,6 +17,7 @@
 //! out-of-band channel.
 
 use nn_core::app::AppSource;
+use nn_core::multihome::{NeutralizerSelector, SelectPolicy};
 use nn_core::wire::{InnerPayload, TransportMsg};
 use nn_crypto::e2e;
 use nn_crypto::sealed::AddrSealer;
@@ -33,10 +34,26 @@ use std::collections::HashMap;
 const TOKEN_APP_WAKE: u64 = 0xA1;
 /// Timer token for key-setup retransmission.
 const TOKEN_SETUP_RETRY: u64 = 0xA2;
+/// Timer token for the multihome liveness check (§3.5).
+const TOKEN_LIVENESS: u64 = 0xA3;
 
 /// How long a neutralized source waits for a `KeyReply` before
 /// retransmitting its `KeySetup` (covers one lost packet per RTO).
 const SETUP_RETRY_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// How often a multihomed source checks that the provider it is using
+/// still answers. Only armed when the `NEUT` record listed more than one
+/// neutralizer, so single-homed cells schedule no extra timers.
+const LIVENESS_INTERVAL: std::time::Duration = std::time::Duration::from_millis(50);
+
+/// A liveness window is only meaningful when the source actually offered
+/// traffic: at least this many data packets with zero authenticated
+/// replies counts as a silent provider.
+const LIVENESS_MIN_TX: u64 = 2;
+
+/// How many consecutive `KeySetup` retransmissions against one provider
+/// the source tolerates before trying the next address in the list.
+const SETUP_RETRIES_PER_PROVIDER: u32 = 2;
 
 /// UDP port both ends of the plain transport use (an RTP-like workload).
 pub const APP_PORT: u16 = 16384;
@@ -302,8 +319,11 @@ impl Node for PlainServerNode {
 pub struct Bootstrap {
     /// The destination's real address (stays hidden inside sealed blocks).
     pub dest: Ipv4Addr,
-    /// The neutralizer anycast service address to send through.
-    pub neutralizer: Ipv4Addr,
+    /// Every neutralizer service address the `NEUT` record listed, in
+    /// record order. A multihomed destination lists one per provider
+    /// (§3.5); the source steers between them with a
+    /// [`NeutralizerSelector`].
+    pub neutralizers: Vec<Ipv4Addr>,
     /// The destination's end-to-end RSA public key.
     pub dest_pubkey: nn_crypto::RsaPublicKey,
 }
@@ -337,6 +357,25 @@ pub struct NeutralizedSourceNode {
     /// App frames generated before key setup completed, with their
     /// original send timestamps already encoded.
     pending: Vec<Vec<u8>>,
+    /// Picks which listed neutralizer to send through (§3.5). `Probe`
+    /// draws no RNG, so single-homed cells keep byte-identical streams.
+    selector: NeutralizerSelector,
+    /// The provider currently in use (the selector's latest choice).
+    current: Ipv4Addr,
+    /// Data packets sent since the last liveness check.
+    liveness_tx: u64,
+    /// Authenticated replies received since the last liveness check.
+    liveness_rx: u64,
+    /// Whether any reply ever came back through `current`. A silent
+    /// window only indicts a provider that was previously alive — before
+    /// the first reply the window may simply be shorter than the RTT
+    /// (a dead-from-start provider is caught by the setup-retry path).
+    path_alive: bool,
+    /// Consecutive `KeySetup` retransmissions against `current`.
+    setup_retries: u32,
+    /// Times the source switched providers (also the `source.failovers`
+    /// stat).
+    pub failovers: u64,
     /// Echo replies received and authenticated.
     pub replies: u64,
     /// Replies whose sealed return block opened to the real destination.
@@ -353,6 +392,9 @@ impl NeutralizedSourceNode {
         flow: impl Into<String>,
         app: Box<dyn AppSource>,
     ) -> Self {
+        let selector =
+            NeutralizerSelector::new(bootstrap.neutralizers.clone(), SelectPolicy::Probe);
+        let current = bootstrap.neutralizers[0];
         NeutralizedSourceNode {
             addr,
             bootstrap,
@@ -365,9 +407,41 @@ impl NeutralizedSourceNode {
             keypair: None,
             established: None,
             pending: Vec::new(),
+            selector,
+            current,
+            liveness_tx: 0,
+            liveness_rx: 0,
+            path_alive: false,
+            setup_retries: 0,
+            failovers: 0,
             replies: 0,
             verified_return_blocks: 0,
         }
+    }
+
+    /// True when the `NEUT` record listed a fallback provider, i.e. when
+    /// failover machinery (liveness timer, selector feedback) is active.
+    fn multihomed(&self) -> bool {
+        self.bootstrap.neutralizers.len() > 1
+    }
+
+    /// Reports `current` dead to the selector and switches to its next
+    /// choice. The neutralizers are stateless (§3: `Ks` is re-derivable
+    /// from the master key on any provider), so an established session
+    /// keeps working across the switch — only the service address the
+    /// packets travel to changes.
+    fn fail_over(&mut self, ctx: &mut Context) {
+        self.selector.report_failure(self.current);
+        let next = self.selector.choose(ctx.rng);
+        if next != self.current {
+            self.current = next;
+            self.failovers += 1;
+            ctx.stats.count("source.failovers");
+            // The replacement starts unproven: its first silent window
+            // must not immediately indict it too.
+            self.path_alive = false;
+        }
+        self.setup_retries = 0;
     }
 
     /// Sends one app frame as a neutralized data packet.
@@ -402,12 +476,15 @@ impl NeutralizedSourceNode {
         match pooled_shim(
             ctx,
             self.addr,
-            self.bootstrap.neutralizer,
+            self.current,
             self.dscp,
             &shim,
             &msg.to_bytes(),
         ) {
-            Some(pkt) => ctx.send(0, pkt),
+            Some(pkt) => {
+                ctx.send(0, pkt);
+                self.liveness_tx += 1;
+            }
             // flow_tx already counted this packet: record that it never
             // left, so 0% delivery is not misread as loss.
             None => ctx.stats.count("source.build_fail"),
@@ -436,14 +513,7 @@ impl NeutralizedSourceNode {
             stamp: None,
         };
         let wire = kp.public.to_wire();
-        if let Some(pkt) = pooled_shim(
-            ctx,
-            self.addr,
-            self.bootstrap.neutralizer,
-            self.dscp,
-            &shim,
-            &wire,
-        ) {
+        if let Some(pkt) = pooled_shim(ctx, self.addr, self.current, self.dscp, &shim, &wire) {
             ctx.send(0, pkt);
         }
         ctx.set_timer(SETUP_RETRY_INTERVAL, TOKEN_SETUP_RETRY);
@@ -471,6 +541,7 @@ impl NeutralizedSourceNode {
             e2e_key,
         });
         ctx.stats.count("source.established");
+        self.setup_retries = 0;
         let pending = std::mem::take(&mut self.pending);
         for frame in pending {
             self.send_data(ctx, &frame);
@@ -508,6 +579,14 @@ impl NeutralizedSourceNode {
         let Ok(inner) = InnerPayload::from_bytes(&plain) else {
             return;
         };
+        // An authenticated reply is proof of provider liveness: feed the
+        // selector's srtt estimate and clear the silent-window counters.
+        self.liveness_rx += 1;
+        self.path_alive = true;
+        if let Some((_, sent, _)) = decode_app_frame(&inner.app) {
+            self.selector
+                .report_success(self.current, (ctx.now - sent).as_secs_f64());
+        }
         let Some(reactions) = self.driver.on_reply(ctx, &inner.app) else {
             return;
         };
@@ -526,6 +605,12 @@ impl Node for NeutralizedSourceNode {
         // for a session key bound to our address.
         self.keypair = Some(nn_crypto::generate_keypair(ctx.rng, self.onetime_rsa_bits));
         self.send_key_setup(ctx);
+        // Failover machinery only runs for multihomed destinations, so
+        // single-homed cells schedule no extra timers (byte-identical
+        // event streams with or without this feature compiled in).
+        if self.multihomed() {
+            ctx.set_timer(LIVENESS_INTERVAL, TOKEN_LIVENESS);
+        }
         self.flush(ctx);
     }
 
@@ -533,10 +618,27 @@ impl Node for NeutralizedSourceNode {
         match token {
             TOKEN_APP_WAKE => self.flush(ctx),
             // A lost KeySetup/KeyReply must not stall the session for the
-            // whole run: retransmit until a reply establishes it.
+            // whole run: retransmit until a reply establishes it. With a
+            // fallback provider, a few consecutive silent retries are
+            // §3.5's "trial-and-error": try the next address instead.
             TOKEN_SETUP_RETRY if self.established.is_none() => {
                 ctx.stats.count("source.setup_retry");
+                self.setup_retries += 1;
+                if self.multihomed() && self.setup_retries >= SETUP_RETRIES_PER_PROVIDER {
+                    self.fail_over(ctx);
+                }
                 self.send_key_setup(ctx);
+            }
+            TOKEN_LIVENESS => {
+                // A window with real offered traffic and zero
+                // authenticated replies means the provider went dark
+                // under us: report it and steer to the fallback.
+                if self.path_alive && self.liveness_tx >= LIVENESS_MIN_TX && self.liveness_rx == 0 {
+                    self.fail_over(ctx);
+                }
+                self.liveness_tx = 0;
+                self.liveness_rx = 0;
+                ctx.set_timer(LIVENESS_INTERVAL, TOKEN_LIVENESS);
             }
             _ => {}
         }
@@ -558,16 +660,28 @@ impl Node for NeutralizedSourceNode {
     }
 }
 
+/// Per-session state on the neutralized destination.
+struct ServerSession {
+    /// Record channel (responder direction).
+    session: E2eSession,
+    /// The neutralizer that forwarded this session's latest data packet
+    /// (stamped into the shim's address block, §3.5): return traffic goes
+    /// back through the provider that is demonstrably alive, so replies
+    /// follow the initiator's failover without any extra signalling.
+    return_via: Ipv4Addr,
+}
+
 /// The neutralized destination: a customer inside the neutral domain
 /// holding the end-to-end private key published in its `NEUT` record.
 pub struct NeutralizedServerNode {
     addr: Ipv4Addr,
-    /// Where return traffic enters the neutralizer (the anycast address).
+    /// Default entry point for return traffic (the primary anycast
+    /// address), used until a data packet stamps a serving provider.
     neutralizer: Ipv4Addr,
     keypair: RsaKeypair,
     echo: bool,
     /// Record channels per (initiator, nonce): responder direction.
-    sessions: HashMap<(u32, u64), E2eSession>,
+    sessions: HashMap<(u32, u64), ServerSession>,
     /// App frames delivered.
     pub rx_frames: u64,
 }
@@ -586,12 +700,13 @@ impl NeutralizedServerNode {
     }
 
     fn echo_reply(&mut self, ctx: &mut Context, initiator: Ipv4Addr, nonce: u64, app_frame: &[u8]) {
-        let session = self
+        let entry = self
             .sessions
             .get_mut(&(initiator.to_u32(), nonce))
             .expect("session exists for delivered frame");
         let inner = InnerPayload::data(app_frame.to_vec());
-        let msg = TransportMsg::Record(session.seal_record(&inner.to_bytes()));
+        let msg = TransportMsg::Record(entry.session.seal_record(&inner.to_bytes()));
+        let return_via = entry.return_via;
         // §3.2 return path: the pre-anonymization packet carries the
         // initiator in plaintext; the neutralizer seals our address and
         // hides us behind the anycast.
@@ -602,8 +717,7 @@ impl NeutralizedServerNode {
             addr_block: ShimRepr::plain_addr_block(initiator),
             stamp: None,
         };
-        if let Some(pkt) = pooled_shim(ctx, self.addr, self.neutralizer, 0, &shim, &msg.to_bytes())
-        {
+        if let Some(pkt) = pooled_shim(ctx, self.addr, return_via, 0, &shim, &msg.to_bytes()) {
             ctx.send(0, pkt);
         }
     }
@@ -626,6 +740,15 @@ impl NeutralizedServerNode {
         }
         let initiator = parsed.ip.src;
         let nonce = parsed.shim.nonce;
+        // The forwarding neutralizer stamped its own service address into
+        // the data shim's address block; an all-zero block (older or
+        // hand-built frames) falls back to the configured primary.
+        let stamped = ShimRepr::addr_from_plain_block(&parsed.shim.addr_block);
+        let return_via = if stamped.to_u32() == 0 {
+            self.neutralizer
+        } else {
+            stamped
+        };
         let plain = match TransportMsg::from_bytes(parsed.payload) {
             Ok(TransportMsg::Envelope(env)) => {
                 let Ok((plain, session_key)) = e2e::open(&self.keypair.private, &env) else {
@@ -635,20 +758,28 @@ impl NeutralizedServerNode {
                 // The source repeats envelopes until a reply confirms the
                 // channel; keep the existing session so the responder's
                 // record nonces never restart (CTR nonce reuse).
-                self.sessions
+                let entry = self
+                    .sessions
                     .entry((initiator.to_u32(), nonce))
-                    .or_insert_with(|| E2eSession::new(&record_channel_key(&session_key), false));
+                    .or_insert_with(|| ServerSession {
+                        session: E2eSession::new(&record_channel_key(&session_key), false),
+                        return_via,
+                    });
+                entry.return_via = return_via;
                 plain
             }
             Ok(TransportMsg::Record(rec)) => {
-                let Some(session) = self.sessions.get(&(initiator.to_u32(), nonce)) else {
+                let Some(entry) = self.sessions.get_mut(&(initiator.to_u32(), nonce)) else {
                     ctx.stats.count("server.record_no_session");
                     return;
                 };
-                let Ok(plain) = session.open_record(&rec) else {
+                let Ok(plain) = entry.session.open_record(&rec) else {
                     ctx.stats.count("server.record_auth_fail");
                     return;
                 };
+                // Replies chase the provider that forwarded the latest
+                // authenticated packet — the §3.5 failover contract.
+                entry.return_via = return_via;
                 plain
             }
             Err(_) => {
@@ -694,7 +825,7 @@ mod tests {
                 Ipv4Addr::new(203, 0, 113, 10),
                 Bootstrap {
                     dest: Ipv4Addr::new(10, 7, 0, 99),
-                    neutralizer: Ipv4Addr::new(198, 18, 0, 1),
+                    neutralizers: vec![Ipv4Addr::new(198, 18, 0, 1)],
                     dest_pubkey: kp.public,
                 },
                 0,

@@ -22,6 +22,9 @@
 //!   injection and tiered prioritization.
 //! * [`hosts`] — the plain and neutralized (§3.2) endpoint stacks every
 //!   workload runs over.
+//! * [`events`] — the dynamic-events axis: named timeline presets
+//!   (static, flap, partition-heal, neut-outage) lowered onto
+//!   [`nn_netsim::EventTimeline`]s against the built topology.
 //! * [`cell`] — one deterministic simulation of one axis combination.
 //! * [`matrix`] — the spec, hashed per-cell seeds, named matrices, and
 //!   JSON/CSV reports.
@@ -47,6 +50,7 @@
 
 pub mod adversary;
 pub mod cell;
+pub mod events;
 pub mod executor;
 pub mod finalize;
 pub mod hosts;
@@ -62,6 +66,7 @@ pub use adversary::AdversarySpec;
 pub use cell::{
     run_cell, run_cell_with_pool, CellFlow, CellReport, CellSpec, CellTuning, StackKind,
 };
+pub use events::EventTimelineSpec;
 pub use executor::{run_shard, CellExecutor, ProcessExecutor, ThreadExecutor};
 pub use finalize::finalize_relative;
 pub use hosts::{

@@ -20,6 +20,7 @@
 
 use crate::adversary::AdversarySpec;
 use crate::cell::{CellFlow, CellReport, CellSpec, CellTuning, StackKind};
+use crate::events::EventTimelineSpec;
 use crate::executor::{CellExecutor, ThreadExecutor};
 use crate::json::Json;
 use crate::link::LinkProfileSpec;
@@ -43,6 +44,8 @@ pub struct ExperimentSpec {
     pub adversaries: Vec<AdversarySpec>,
     /// Host-stack axis.
     pub stacks: Vec<StackKind>,
+    /// Dynamic-events axis: timeline presets the network suffers.
+    pub events: Vec<EventTimelineSpec>,
     /// Replication axis: one full cross product per entry.
     pub seeds: Vec<u64>,
     /// Shared non-axis knobs.
@@ -81,6 +84,7 @@ impl ExperimentSpec {
         workload: &WorkloadSpec,
         adversary: &AdversarySpec,
         stack: StackKind,
+        events: EventTimelineSpec,
         seed_axis: u64,
     ) -> u64 {
         let mut h = Fnv1a::new();
@@ -90,6 +94,7 @@ impl ExperimentSpec {
         h.write(workload.name().as_bytes());
         h.write(adversary.name().as_bytes());
         h.write(stack.name().as_bytes());
+        h.write(events.name().as_bytes());
         h.write(&seed_axis.to_be_bytes());
         h.write(&(index as u64).to_be_bytes());
         h.finish()
@@ -129,6 +134,8 @@ pub struct MatrixCell {
     pub adversary: String,
     /// Stack axis name.
     pub stack: String,
+    /// Events axis name.
+    pub events: String,
     /// Seed-axis value.
     pub seed_axis: u64,
     /// Hashed simulator seed actually used.
@@ -246,6 +253,7 @@ pub fn verify_merged_against_spec(
             || cell.workload != mc.cell.workload.name()
             || cell.adversary != mc.cell.adversary.name()
             || cell.stack != mc.cell.stack.name()
+            || cell.events != mc.cell.events.name()
             || cell.seed_axis != mc.seed_axis
         {
             return Err(format!(
@@ -271,6 +279,7 @@ impl MatrixCell {
             ("workload", Json::Str(self.workload.clone())),
             ("adversary", Json::Str(self.adversary.clone())),
             ("stack", Json::Str(self.stack.clone())),
+            ("events", Json::Str(self.events.clone())),
             ("seed_axis", Json::UInt(self.seed_axis)),
             ("sim_seed", Json::UInt(self.sim_seed)),
             ("flows", Json::Arr(flows)),
@@ -281,7 +290,9 @@ impl MatrixCell {
             ),
             ("policy_drops", Json::UInt(self.report.policy_drops)),
             ("counters", counters),
-            ("events", Json::UInt(self.report.events)),
+            // "events" is the axis name above; the simulator's processed
+            // event count keeps its own key.
+            ("sim_events", Json::UInt(self.report.events)),
         ];
         if include_relative {
             let relative = match &self.relative {
@@ -346,6 +357,7 @@ impl MatrixCell {
             workload: string("workload")?,
             adversary: string("adversary")?,
             stack: string("stack")?,
+            events: string("events")?,
             seed_axis: uint("seed_axis")?,
             sim_seed,
             report: CellReport {
@@ -355,7 +367,7 @@ impl MatrixCell {
                 verified_return_blocks: uint("verified_return_blocks")?,
                 policy_drops: uint("policy_drops")?,
                 counters,
-                events: uint("events")?,
+                events: uint("sim_events")?,
             },
             relative,
         })
@@ -385,10 +397,10 @@ impl MatrixReport {
     /// columns empty when the cell has no baseline).
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "index,topology,link,workload,adversary,stack,seed_axis,sim_seed,flow,tx_packets,\
-             rx_packets,delivery_ratio,goodput_bps,mean_delay_ms,p99_delay_ms,jitter_ms,\
-             ce_marks,replies,verified_return_blocks,policy_drops,events,goodput_ratio,\
-             mean_delay_ratio,jitter_ratio\n",
+            "index,topology,link,workload,adversary,stack,events,seed_axis,sim_seed,flow,\
+             tx_packets,rx_packets,delivery_ratio,goodput_bps,mean_delay_ms,p99_delay_ms,\
+             jitter_ms,ce_marks,replies,verified_return_blocks,policy_drops,sim_events,\
+             goodput_ratio,mean_delay_ratio,jitter_ratio\n",
         );
         for c in &self.cells {
             let (flow, tx, rx, delivery, goodput, mean_d, p99, jitter, ce) =
@@ -414,13 +426,14 @@ impl MatrixReport {
                 None => ",,".to_string(),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.index,
                 c.topology,
                 c.link,
                 c.workload,
                 c.adversary,
                 c.stack,
+                c.events,
                 c.seed_axis,
                 c.sim_seed,
                 flow,
@@ -460,6 +473,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
             stacks: vec![StackKind::Plain],
+            events: vec![EventTimelineSpec::Static, EventTimelineSpec::Flap],
             seeds: vec![1, 2],
             tuning: CellTuning::fast(),
         },
@@ -476,6 +490,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             ],
             adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
             tuning: CellTuning::fast(),
         },
@@ -499,6 +514,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
                 AdversarySpec::tiered_default(),
             ],
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
             tuning: CellTuning::fast(),
         },
@@ -532,6 +548,22 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
                 AdversarySpec::tiered_default(),
             ],
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            events: vec![EventTimelineSpec::Static],
+            seeds: vec![1, 2],
+            tuning: CellTuning::fast(),
+        },
+        // The flaky-ISP recovery matrix: a multihomed destination under
+        // a mid-run partition of the primary provider. Static cells are
+        // the calm control; partition-heal cells must show multihome
+        // failover + neutralization recovering goodput — 16 cells.
+        "flaky" => ExperimentSpec {
+            name: "flaky".to_string(),
+            topologies: vec![TopologySpec::Multihomed],
+            links: vec![LinkProfileSpec::Clean],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
+            stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            events: vec![EventTimelineSpec::Static, EventTimelineSpec::PartitionHeal],
             seeds: vec![1, 2],
             tuning: CellTuning::fast(),
         },
@@ -541,7 +573,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
 }
 
 /// Names [`named_matrix`] accepts, in documentation order.
-pub const NAMED_MATRICES: [&str; 4] = ["smoke", "default", "congested", "full"];
+pub const NAMED_MATRICES: [&str; 5] = ["smoke", "default", "congested", "full", "flaky"];
 
 #[cfg(test)]
 mod tests {
@@ -558,6 +590,7 @@ mod tests {
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
             stacks: vec![StackKind::Plain],
+            events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
             tuning: CellTuning {
                 duration: Duration::from_millis(200),
@@ -638,6 +671,7 @@ mod tests {
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None],
             stacks: vec![StackKind::Plain],
+            events: vec![EventTimelineSpec::Static],
             seeds: vec![1],
             tuning: CellTuning {
                 duration: Duration::from_millis(200),
@@ -718,6 +752,7 @@ mod tests {
             workloads: vec![WorkloadSpec::voip_default()],
             adversaries: vec![AdversarySpec::None],
             stacks: vec![StackKind::Plain],
+            events: vec![EventTimelineSpec::Static],
             seeds: vec![1],
             tuning: CellTuning {
                 duration: Duration::from_millis(200),
@@ -757,6 +792,7 @@ mod tests {
                 AdversarySpec::tiered_default(),
             ],
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            events: vec![EventTimelineSpec::Static],
             seeds: vec![1],
             tuning: CellTuning::fast(),
         };

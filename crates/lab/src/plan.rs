@@ -26,6 +26,7 @@ impl ExperimentSpec {
             * self.workloads.len()
             * self.adversaries.len()
             * self.stacks.len()
+            * self.events.len()
             * self.seeds.len()
     }
 
@@ -40,6 +41,8 @@ impl ExperimentSpec {
         let mut i = index;
         let e = i % self.seeds.len();
         i /= self.seeds.len();
+        let v = i % self.events.len();
+        i /= self.events.len();
         let s = i % self.stacks.len();
         i /= self.stacks.len();
         let a = i % self.adversaries.len();
@@ -55,8 +58,11 @@ impl ExperimentSpec {
         let workload = &self.workloads[w];
         let adversary = &self.adversaries[a];
         let stack = self.stacks[s];
+        let events = self.events[v];
         let seed_axis = self.seeds[e];
-        let sim_seed = self.cell_seed(index, topology, link, workload, adversary, stack, seed_axis);
+        let sim_seed = self.cell_seed(
+            index, topology, link, workload, adversary, stack, events, seed_axis,
+        );
         Some(MatrixCellSpec {
             index,
             seed_axis,
@@ -66,6 +72,7 @@ impl ExperimentSpec {
                 workload: workload.clone(),
                 adversary: adversary.clone(),
                 stack,
+                events,
                 seed: sim_seed,
             },
         })

@@ -45,6 +45,15 @@ pub const SRC_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 10);
 pub const DST_ADDR: Ipv4Addr = Ipv4Addr::new(10, 7, 0, 99);
 /// The neutralizer anycast service address.
 pub const ANYCAST_ADDR: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 1);
+/// The secondary provider's anycast service address — only advertised by
+/// the [`TopologySpec::Multihomed`] shape, and listed second in the
+/// destination's `NEUT` record (§3.5).
+pub const SECONDARY_ANYCAST: Ipv4Addr = Ipv4Addr::new(198, 18, 1, 1);
+/// The secondary provider's dynamic QoS pool (disjoint from the
+/// primary's default `198.19.255.0/24`).
+pub fn secondary_dyn_pool() -> Ipv4Cidr {
+    Ipv4Cidr::new(Ipv4Addr::new(198, 19, 254, 0), 24)
+}
 
 /// Bandwidth of every non-bottleneck link (10 Mbit/s, the legacy value).
 const LINK_BPS: u64 = 10_000_000;
@@ -100,6 +109,33 @@ pub enum TopologySpec {
         /// Which AS discriminates (0-based, `< as_count`).
         disc_as: usize,
     },
+    /// The paper's §3.5 multihoming shape: the destination's domain is
+    /// reachable through two independent neutralizing providers.
+    ///
+    /// ```text
+    /// src — isp — prov-a — neut   (primary,   ANYCAST_ADDR)
+    ///          \_ prov-b — neut-b (secondary, SECONDARY_ANYCAST)
+    ///                neut ⟍
+    ///                      dstr — dst
+    ///              neut-b ⟋
+    /// ```
+    ///
+    /// The shared access router `isp` discriminates (it sits before the
+    /// fork, so switching providers does not dodge the adversary — only
+    /// neutralization does); the `prov-a → neut` hop carries the link
+    /// axis and is the natural target for flap/partition timelines.
+    Multihomed,
+}
+
+/// The second provider of a [`TopologySpec::Multihomed`] destination:
+/// its neutralizer node (which must share the primary's master key, so
+/// sessions survive failover — the neutralizers are stateless, §3) and
+/// the dynamic QoS pool prefix that node advertises.
+pub struct SecondaryProvider {
+    /// The secondary neutralizer node.
+    pub node: Box<dyn Node>,
+    /// The secondary's dynamic QoS pool prefix.
+    pub dyn_pool: Ipv4Cidr,
 }
 
 /// What a generator built: endpoint ids, the discriminator, and the
@@ -125,6 +161,10 @@ pub struct BuiltTopology {
     pub bottleneck: (NodeId, IfaceId),
     /// The cross-traffic source nodes (empty without background flows).
     pub background: Vec<NodeId>,
+    /// The nodes that make up the primary provider's path — the set a
+    /// partition timeline cuts off to force multihome failover. Empty
+    /// for single-provider shapes.
+    pub primary_path: Vec<NodeId>,
 }
 
 impl TopologySpec {
@@ -195,6 +235,16 @@ impl TopologySpec {
             TopologySpec::MultiAs { as_count, disc_as } => {
                 format!("multi-as{as_count}-d{disc_as}")
             }
+            TopologySpec::Multihomed => "multihomed".to_string(),
+        }
+    }
+
+    /// The neutralizer service addresses a destination behind this shape
+    /// lists in its `NEUT` record, primary first (§3.5).
+    pub fn neut_addrs(&self) -> Vec<Ipv4Addr> {
+        match self {
+            TopologySpec::Multihomed => vec![ANYCAST_ADDR, SECONDARY_ANYCAST],
+            _ => vec![ANYCAST_ADDR],
         }
     }
 
@@ -205,15 +255,23 @@ impl TopologySpec {
     /// alongside the anycast address. The `link` axis is lowered onto
     /// the shape's bottleneck direction (forward path only — the return
     /// path keeps the native wire, so degradation is attributable).
+    /// `secondary` is the second provider's neutralizer: required by the
+    /// [`TopologySpec::Multihomed`] shape, rejected by every other.
+    #[allow(clippy::too_many_arguments)]
     pub fn build(
         &self,
         sim: &mut Simulator,
         src_node: Box<dyn Node>,
         neut_node: Box<dyn Node>,
+        secondary: Option<SecondaryProvider>,
         dst_node: Box<dyn Node>,
         dyn_pool: Ipv4Cidr,
         link: &LinkProfileSpec,
     ) -> BuiltTopology {
+        assert!(
+            secondary.is_none() || matches!(self, TopologySpec::Multihomed),
+            "only the multihomed shape takes a secondary provider"
+        );
         match *self {
             TopologySpec::Chain { hops, disc_hop } => {
                 assert!(hops >= 1, "chain needs at least one ISP hop");
@@ -248,7 +306,7 @@ impl TopologySpec {
                 sim.connect_sym(neut, dst, edge_link());
 
                 let advertised = base_prefixes(src, dst, neut, dyn_pool);
-                install_routes(sim, &routers, neut, &advertised);
+                install_routes(sim, &routers, &[neut], &advertised);
                 BuiltTopology {
                     src,
                     neut,
@@ -259,6 +317,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (last, bneck_iface),
                     background: Vec::new(),
+                    primary_path: Vec::new(),
                 }
             }
             TopologySpec::Dumbbell {
@@ -295,7 +354,7 @@ impl TopologySpec {
                     &mut advertised,
                 );
                 let routers = vec![isp, core];
-                install_routes(sim, &routers, neut, &advertised);
+                install_routes(sim, &routers, &[neut], &advertised);
                 BuiltTopology {
                     src,
                     neut,
@@ -306,6 +365,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (isp, bneck_iface),
                     background,
+                    primary_path: Vec::new(),
                 }
             }
             TopologySpec::Star {
@@ -355,7 +415,7 @@ impl TopologySpec {
                     Vec::new()
                 };
                 let routers = vec![hub];
-                install_routes(sim, &routers, neut, &advertised);
+                install_routes(sim, &routers, &[neut], &advertised);
                 BuiltTopology {
                     src,
                     neut,
@@ -366,6 +426,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (hub, bneck_iface),
                     background,
+                    primary_path: Vec::new(),
                 }
             }
             TopologySpec::MultiAs { as_count, disc_as } => {
@@ -407,7 +468,7 @@ impl TopologySpec {
                 sim.connect_sym(neut, dst, edge_link());
 
                 let advertised = base_prefixes(src, dst, neut, dyn_pool);
-                install_routes(sim, &routers, neut, &advertised);
+                install_routes(sim, &routers, &[neut], &advertised);
                 let discriminator = routers[2 * disc_as + 1];
                 BuiltTopology {
                     src,
@@ -419,6 +480,59 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (last, bneck_iface),
                     background: Vec::new(),
+                    primary_path: Vec::new(),
+                }
+            }
+            TopologySpec::Multihomed => {
+                let SecondaryProvider {
+                    node: neut_b_node,
+                    dyn_pool: dyn_pool_b,
+                } = secondary.expect("the multihomed shape needs a secondary provider");
+                let src = sim.add_node("src", src_node);
+                let isp = sim.add_node("isp", Box::new(RouterNode::new("isp")));
+                let prov_a = sim.add_node("prov-a", Box::new(RouterNode::new("prov-a")));
+                let prov_b = sim.add_node("prov-b", Box::new(RouterNode::new("prov-b")));
+                let neut = sim.add_node("neut", neut_node);
+                let neut_b = sim.add_node("neut-b", neut_b_node);
+                let dstr = sim.add_node("dstr", Box::new(RouterNode::new("dstr")));
+                let dst = sim.add_node("dst", dst_node);
+
+                sim.connect_sym(src, isp, edge_link());
+                sim.connect_sym(isp, prov_a, backbone_link());
+                sim.connect_sym(isp, prov_b, backbone_link());
+                // The hop into the primary provider's neutral domain
+                // carries the link axis (and is what flap timelines
+                // target): failover has something to route around.
+                let (bneck_iface, _) = sim.connect(
+                    prov_a,
+                    neut,
+                    link.bottleneck_profile(backbone_link()),
+                    backbone_link(),
+                );
+                sim.connect_sym(prov_b, neut_b, backbone_link());
+                sim.connect_sym(neut, dstr, edge_link());
+                sim.connect_sym(neut_b, dstr, edge_link());
+                sim.connect_sym(dstr, dst, edge_link());
+
+                let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
+                advertised.push((Ipv4Cidr::new(SECONDARY_ANYCAST, 24), neut_b));
+                advertised.push((dyn_pool_b, neut_b));
+                let routers = vec![isp, prov_a, prov_b, dstr];
+                install_routes(sim, &routers, &[neut, neut_b], &advertised);
+                BuiltTopology {
+                    src,
+                    neut,
+                    dst,
+                    discriminator: isp,
+                    disc_name: "isp".to_string(),
+                    routers,
+                    advertised,
+                    bottleneck: (prov_a, bneck_iface),
+                    background: Vec::new(),
+                    // Cutting off {prov-a, neut} severs isp—prov-a and
+                    // neut—dstr: the primary provider is unreachable
+                    // while the secondary path stays intact.
+                    primary_path: vec![prov_a, neut],
                 }
             }
         }
@@ -516,11 +630,11 @@ fn attach_background(
 }
 
 /// Computes shortest-path tables over the built graph and installs them
-/// on every router and on the neutralizer.
+/// on every router and on every neutralizer.
 fn install_routes(
     sim: &mut Simulator,
     routers: &[NodeId],
-    neut: NodeId,
+    neuts: &[NodeId],
     advertised: &[(Ipv4Cidr, NodeId)],
 ) {
     let tables = compute_routes(sim.edges(), advertised, sim.node_count());
@@ -531,15 +645,17 @@ fn install_routes(
                 .set_routes(table.clone());
         }
     }
-    if let Some(table) = tables.get(&neut) {
-        sim.node_mut::<NeutralizerNode>(neut)
-            .expect("neutralizer node")
-            .set_routes(table.clone());
+    for &neut in neuts {
+        if let Some(table) = tables.get(&neut) {
+            sim.node_mut::<NeutralizerNode>(neut)
+                .expect("neutralizer node")
+                .set_routes(table.clone());
+        }
     }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use nn_core::neutralizer::NeutralizerConfig;
     use nn_netsim::SinkNode;
@@ -559,10 +675,21 @@ mod tests {
         let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
         let dyn_pool = config.dyn_pool;
         let neut = Box::new(NeutralizerNode::new(config, [7u8; 16]));
+        let secondary = matches!(spec, TopologySpec::Multihomed).then(|| {
+            let mut config_b =
+                NeutralizerConfig::new(SECONDARY_ANYCAST, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+            config_b.dyn_pool = secondary_dyn_pool();
+            config_b.stats_name = "neutralizer-b".to_string();
+            SecondaryProvider {
+                dyn_pool: config_b.dyn_pool,
+                node: Box::new(NeutralizerNode::new(config_b, [7u8; 16])),
+            }
+        });
         let built = spec.build(
             &mut sim,
             Box::new(SinkNode::new()),
             neut,
+            secondary,
             Box::new(SinkNode::new()),
             dyn_pool,
             link,
@@ -594,6 +721,7 @@ mod tests {
             TopologySpec::dumbbell_default(),
             TopologySpec::star_default(),
             TopologySpec::multi_as_default(),
+            TopologySpec::Multihomed,
         ] {
             let (sim, built) = build_for_test(&spec);
             for &r in &built.routers {
@@ -723,6 +851,30 @@ mod tests {
                 spec.name()
             );
         }
+    }
+
+    /// The multihomed shape routes both anycast addresses to distinct
+    /// providers and names the primary path for partition timelines.
+    #[test]
+    fn multihomed_routes_both_providers() {
+        let (sim, built) = build_for_test(&TopologySpec::Multihomed);
+        assert_eq!(built.primary_path.len(), 2);
+        assert_eq!(sim.node_name(built.primary_path[1]), "neut");
+        let isp = sim
+            .node_ref::<RouterNode>(built.discriminator)
+            .expect("isp router");
+        let via_a = isp.routes().lookup(ANYCAST_ADDR).expect("primary route");
+        let via_b = isp
+            .routes()
+            .lookup(SECONDARY_ANYCAST)
+            .expect("secondary route");
+        assert_ne!(via_a, via_b, "the providers must fork at the isp");
+        assert_eq!(TopologySpec::Multihomed.name(), "multihomed");
+        assert_eq!(
+            TopologySpec::Multihomed.neut_addrs(),
+            vec![ANYCAST_ADDR, SECONDARY_ANYCAST]
+        );
+        assert_eq!(TopologySpec::chain().neut_addrs(), vec![ANYCAST_ADDR]);
     }
 
     #[test]

@@ -217,9 +217,16 @@ fn worker_merge_and_shards_match_single_process_byte_for_byte() {
     );
 
     // An incomplete shard set must refuse to merge, loudly.
+    run_incomplete_merge_checks(&dir);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn run_incomplete_merge_checks(dir: &Path) {
+    // An incomplete shard set must refuse to merge, loudly.
     let partial = nn_lab(
         &["--merge", "shard0.json", "shard2.json", "--out", "bad.json"],
-        &dir,
+        dir,
     );
     assert_eq!(partial.status.code(), Some(1), "incomplete set must fail");
     assert!(
@@ -235,12 +242,135 @@ fn worker_merge_and_shards_match_single_process_byte_for_byte() {
             "shard1.json",
             "shard2.json",
         ],
-        &dir,
+        dir,
     );
     assert_eq!(dup.status.code(), Some(1), "overlapping set must fail");
     assert!(
         String::from_utf8_lossy(&dup.stderr).contains("shard 0 appears more than once"),
         "merge failure names the duplicate shard"
+    );
+}
+
+/// The dynamic-event acceptance gate through the real binary: the
+/// `flaky` matrix (multihomed failover mid-partition) run single-process,
+/// as `--shards 3` worker children, and through an explicit
+/// worker → `--merge` round, all byte-identical — and equal to the
+/// committed golden, so a CLI run on any machine reproduces the pinned
+/// trace exactly.
+#[test]
+fn flaky_matrix_is_deterministic_across_process_topologies() {
+    let dir = tmpdir("flaky");
+    let ok = |out: &Output, what: &str| {
+        assert!(
+            out.status.success(),
+            "{what} failed: {}\n{}",
+            out.status,
+            String::from_utf8_lossy(&out.stderr)
+        );
+    };
+
+    let single = nn_lab(
+        &[
+            "--matrix",
+            "flaky",
+            "--out",
+            "single.json",
+            "--csv",
+            "single.csv",
+            "--threads",
+            "2",
+        ],
+        &dir,
+    );
+    ok(&single, "single-process flaky run");
+
+    let sharded = nn_lab(
+        &[
+            "--matrix",
+            "flaky",
+            "--shards",
+            "3",
+            "--threads",
+            "1",
+            "--out",
+            "sharded.json",
+            "--csv",
+            "sharded.csv",
+        ],
+        &dir,
+    );
+    ok(&sharded, "--shards 3 flaky run");
+    assert_eq!(
+        read(&dir, "sharded.json"),
+        read(&dir, "single.json"),
+        "sharded flaky JSON drifted"
+    );
+    assert_eq!(
+        read(&dir, "sharded.csv"),
+        read(&dir, "single.csv"),
+        "sharded flaky CSV drifted"
+    );
+
+    // Explicit worker files merged back — the cross-host path.
+    for shard in ["0/3", "1/3", "2/3"] {
+        let name = format!("fshard{}.json", &shard[..1]);
+        let worker = nn_lab(
+            &[
+                "--worker",
+                "--shard",
+                shard,
+                "--matrix",
+                "flaky",
+                "--out",
+                &name,
+                "--threads",
+                "2",
+            ],
+            &dir,
+        );
+        ok(&worker, &format!("flaky worker {shard}"));
+    }
+    let merge = nn_lab(
+        &[
+            "--merge",
+            "fshard0.json",
+            "fshard1.json",
+            "fshard2.json",
+            "--out",
+            "merged.json",
+            "--csv",
+            "merged.csv",
+        ],
+        &dir,
+    );
+    ok(&merge, "flaky merge");
+    assert_eq!(
+        read(&dir, "merged.json"),
+        read(&dir, "single.json"),
+        "merged flaky JSON drifted"
+    );
+    assert_eq!(
+        read(&dir, "merged.csv"),
+        read(&dir, "single.csv"),
+        "merged flaky CSV drifted"
+    );
+
+    // And the binary agrees with the committed golden, so the whole
+    // process pipeline is pinned to the same trace the library tests pin.
+    let golden_dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/goldens");
+    let golden_json =
+        std::fs::read_to_string(golden_dir.join("flaky_matrix.json")).expect("committed golden");
+    let golden_csv =
+        std::fs::read_to_string(golden_dir.join("flaky_matrix.csv")).expect("committed golden");
+    assert_eq!(
+        read(&dir, "single.json"),
+        golden_json,
+        "CLI flaky JSON drifted from the committed golden"
+    );
+    assert_eq!(
+        read(&dir, "single.csv"),
+        golden_csv,
+        "CLI flaky CSV drifted from the committed golden"
     );
 
     let _ = std::fs::remove_dir_all(&dir);

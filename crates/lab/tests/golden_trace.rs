@@ -19,8 +19,8 @@
 use nn_lab::matrix::{named_matrix, run_matrix_with_threads, ExperimentSpec};
 use nn_lab::{
     finalize_report, merge_shards, run_shard, verify_merged_against_spec, AdversarySpec,
-    CellTuning, ExecutionPlan, LinkProfileSpec, MatrixReport, ShardReport, StackKind, TopologySpec,
-    WorkloadSpec,
+    CellTuning, EventTimelineSpec, ExecutionPlan, LinkProfileSpec, MatrixReport, ShardReport,
+    StackKind, TopologySpec, WorkloadSpec,
 };
 use std::path::PathBuf;
 
@@ -66,6 +66,7 @@ fn congested_story_spec() -> ExperimentSpec {
             AdversarySpec::tiered_default(),
         ],
         stacks: vec![StackKind::Plain, StackKind::Neutralized],
+        events: vec![EventTimelineSpec::Static],
         seeds: vec![1],
         tuning: CellTuning::fast(),
     }
@@ -133,4 +134,34 @@ fn sharded_runs_match_the_single_process_goldens() {
     let sharded = run_sharded_via_wire(&congested, 4);
     assert_golden("congested_matrix.json", &sharded.to_json());
     assert_golden("congested_matrix.csv", &sharded.to_csv());
+}
+
+/// The dynamic-event battery: the `flaky` matrix (multihomed topology,
+/// partition-heal timelines, failover in flight) must be byte-identical
+/// across thread counts and against its committed golden. Timeline
+/// events ride the same wheel as traffic, so any ordering leak between
+/// event application and frame delivery shows up here first.
+#[test]
+fn flaky_matrix_json_matches_golden_at_any_thread_count() {
+    let spec = named_matrix("flaky").expect("flaky matrix exists");
+    let one = run_matrix_with_threads(&spec, 1);
+    let three = run_matrix_with_threads(&spec, 3);
+    assert_eq!(
+        one.to_json(),
+        three.to_json(),
+        "thread count must not leak into the report"
+    );
+    assert_golden("flaky_matrix.json", &one.to_json());
+    assert_golden("flaky_matrix.csv", &one.to_csv());
+}
+
+/// The sharded pipeline over the event-driven matrix: three strided
+/// shards, wire round-trip, merge, finalize — byte-identical to the
+/// single-process golden.
+#[test]
+fn sharded_flaky_run_matches_the_single_process_golden() {
+    let spec = named_matrix("flaky").expect("flaky matrix exists");
+    let sharded = run_sharded_via_wire(&spec, 3);
+    assert_golden("flaky_matrix.json", &sharded.to_json());
+    assert_golden("flaky_matrix.csv", &sharded.to_csv());
 }

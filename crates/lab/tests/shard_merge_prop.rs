@@ -10,8 +10,8 @@
 
 use nn_lab::{
     finalize_report, merge_shards, run_matrix_with_threads, run_shard, verify_merged_against_spec,
-    AdversarySpec, CellReport, CellTuning, ExecutionPlan, ExperimentSpec, LinkProfileSpec,
-    MatrixCell, MergeError, ShardReport, StackKind, TopologySpec, WorkloadSpec,
+    AdversarySpec, CellReport, CellTuning, EventTimelineSpec, ExecutionPlan, ExperimentSpec,
+    LinkProfileSpec, MatrixCell, MergeError, ShardReport, StackKind, TopologySpec, WorkloadSpec,
 };
 use proptest::prelude::*;
 use std::sync::OnceLock;
@@ -28,6 +28,7 @@ fn tiny_spec() -> ExperimentSpec {
         workloads: vec![WorkloadSpec::voip_default()],
         adversaries: vec![AdversarySpec::None, AdversarySpec::content_dpi_default()],
         stacks: vec![StackKind::Plain],
+        events: vec![EventTimelineSpec::Static],
         seeds: vec![1, 2],
         tuning: CellTuning {
             duration: Duration::from_millis(150),
@@ -91,6 +92,7 @@ fn fake_cell(index: usize) -> MatrixCell {
         workload: "voip".to_string(),
         adversary: "none".to_string(),
         stack: "plain".to_string(),
+        events: "static".to_string(),
         seed_axis: 1,
         sim_seed: index as u64,
         report: CellReport {
@@ -217,15 +219,15 @@ fn shard_wire_format_rejects_relative_metrics() {
     // A shard cell carrying relative metrics cannot be a worker's output
     // — baselines are cross-shard context only finalization may compute.
     let tampered = wire.replace(
-        "\"events\":0",
-        "\"events\":0,\"relative\":{\"goodput_ratio\":2.0,\"mean_delay_ratio\":1.0,\
+        "\"sim_events\":0",
+        "\"sim_events\":0,\"relative\":{\"goodput_ratio\":2.0,\"mean_delay_ratio\":1.0,\
          \"jitter_ratio\":1.0}",
     );
     assert_ne!(tampered, wire);
     let err = ShardReport::from_json(&tampered).unwrap_err();
     assert!(err.contains("relative"), "{err}");
     // An explicit null is the raw format's own idiom and stays legal.
-    let nulled = wire.replace("\"events\":0", "\"events\":0,\"relative\":null");
+    let nulled = wire.replace("\"sim_events\":0", "\"sim_events\":0,\"relative\":null");
     ShardReport::from_json(&nulled).expect("null relative is still raw");
 }
 

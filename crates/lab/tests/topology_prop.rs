@@ -5,22 +5,35 @@
 
 use nn_core::neutralizer::{NeutralizerConfig, NeutralizerNode};
 use nn_lab::link::LinkProfileSpec;
-use nn_lab::topology::{BuiltTopology, TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
+use nn_lab::topology::{
+    secondary_dyn_pool, BuiltTopology, SecondaryProvider, TopologySpec, ANYCAST_ADDR, DST_ADDR,
+    SECONDARY_ANYCAST, SRC_ADDR,
+};
 use nn_netsim::{RouterNode, Simulator, SinkNode};
 use nn_packet::Ipv4Cidr;
 use proptest::prelude::*;
 
-/// Builds `spec` with sink endpoints, a real neutralizer and a clean
-/// link axis.
+/// Builds `spec` with sink endpoints, a real neutralizer (two for the
+/// multihomed shape) and a clean link axis.
 fn build(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
     let mut sim = Simulator::new(1);
     let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
     let dyn_pool = config.dyn_pool;
     let neut = Box::new(NeutralizerNode::new(config, [7u8; 16]));
+    let secondary = matches!(spec, TopologySpec::Multihomed).then(|| {
+        let mut config_b =
+            NeutralizerConfig::new(SECONDARY_ANYCAST, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+        config_b.dyn_pool = secondary_dyn_pool();
+        SecondaryProvider {
+            dyn_pool: config_b.dyn_pool,
+            node: Box::new(NeutralizerNode::new(config_b, [7u8; 16])),
+        }
+    });
     let built = spec.build(
         &mut sim,
         Box::new(SinkNode::new()),
         neut,
+        secondary,
         Box::new(SinkNode::new()),
         dyn_pool,
         &LinkProfileSpec::Clean,
@@ -131,4 +144,23 @@ proptest! {
     ) {
         check(&TopologySpec::Dumbbell { bottleneck_bps: bps, background_flows })?;
     }
+}
+
+/// The multihomed shape passes the shared invariants, and additionally
+/// every router resolves the *secondary* provider's anycast — the
+/// forwarding precondition for failover.
+#[test]
+fn multihomed_is_connected_routed_and_resolves_both_anycasts() {
+    let spec = TopologySpec::Multihomed;
+    check(&spec).expect("shared topology invariants");
+    let (sim, built) = build(&spec);
+    for &r in &built.routers {
+        let router = sim.node_ref::<RouterNode>(r).expect("router node");
+        assert!(
+            router.routes().lookup(SECONDARY_ANYCAST).is_some(),
+            "router {} cannot resolve the fallback anycast",
+            sim.node_name(r)
+        );
+    }
+    assert_eq!(built.primary_path.len(), 2, "prov-a and neut");
 }

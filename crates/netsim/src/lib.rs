@@ -8,6 +8,11 @@
 //! policing) and optional fault injection.
 //!
 //! * [`sim`] — the event engine and the `Node` trait.
+//! * [`events`] — seeded dynamic-event timelines ([`EventTimeline`]):
+//!   link flaps, mid-run profile swaps, partitions/heals, node
+//!   pause/resume and adversary policy switch-on, applied at exact wheel
+//!   quanta so fault injection interleaves deterministically with
+//!   traffic.
 //! * [`frame`] — pooled [`FrameBuf`] buffers: the data path recycles
 //!   frames through a per-simulator [`FramePool`] freelist instead of
 //!   touching the allocator per hop.
@@ -32,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 pub mod frame;
 pub mod link;
 pub mod nodes;
@@ -43,6 +49,7 @@ pub mod stats;
 pub mod time;
 pub mod wheel;
 
+pub use events::{EventTimeline, NetEvent};
 pub use frame::{FrameBuf, FramePool};
 pub use link::{FaultConfig, LinkConfig, LinkProfile, LossModel, QueueKind, StageSpec};
 pub use nodes::{RouterNode, SinkNode};

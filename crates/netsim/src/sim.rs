@@ -15,8 +15,10 @@
 //! [`TimingWheel`] (see [`crate::wheel`]) rather than a binary heap —
 //! same `(time, submission order)` contract, amortized O(1).
 
+use crate::events::{EventTimeline, NetEvent};
 use crate::frame::{FrameBuf, FramePool};
 use crate::link::{LinkProfile, LossModel, StageSpec, StageState};
+use crate::nodes::RouterNode;
 use crate::queue::{EnqueueResult, Queue};
 use crate::stats::Stats;
 use crate::time::{tx_time, SimTime};
@@ -138,6 +140,10 @@ pub struct LinkCounters {
     /// Frames held back by a reordering stage (later frames may
     /// overtake them).
     pub reordered: u64,
+    /// Frames discarded because the direction was administratively down
+    /// (offered while down, or flushed from the queue at down time) —
+    /// see [`crate::events::NetEvent::LinkDown`].
+    pub down_drops: u64,
     /// Frames delivered to the peer node.
     pub delivered: u64,
 }
@@ -150,6 +156,9 @@ struct LinkDir {
     stage_state: Vec<StageState>,
     queue: Box<dyn Queue>,
     busy: bool,
+    /// False while the direction is administratively down (link flap or
+    /// partition): offered frames drop as `down_drops`.
+    up: bool,
     counters: LinkCounters,
     /// Serialization-time memo: traffic is dominated by repeated frame
     /// sizes, and `tx_time`'s wide division is pure per `(len, rate)` —
@@ -256,6 +265,9 @@ enum EventKind {
         node: u32,
         token: u64,
     },
+    /// A dynamic network event from an [`EventTimeline`], boxed to keep
+    /// wheel entries small (the variant is rare next to frame traffic).
+    Net(Box<NetEvent>),
 }
 
 /// The discrete-event simulator.
@@ -270,6 +282,8 @@ pub struct Simulator {
     /// node -> iface -> outgoing direction index.
     ifaces: Vec<Vec<usize>>,
     dirs: Vec<LinkDir>,
+    /// Per-node pause flags ([`NetEvent::NodePause`]).
+    paused: Vec<bool>,
     rng: StdRng,
     stats: Stats,
     pool: FramePool,
@@ -292,6 +306,7 @@ impl Simulator {
             name_spans: Vec::new(),
             ifaces: Vec::new(),
             dirs: Vec::new(),
+            paused: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             stats: Stats::new(),
             pool: FramePool::new(),
@@ -310,6 +325,7 @@ impl Simulator {
         self.name_bytes.push_str(name.as_ref());
         self.name_spans.push((start, self.name_bytes.len() as u32));
         self.ifaces.push(Vec::new());
+        self.paused.push(false);
         id
     }
 
@@ -343,6 +359,7 @@ impl Simulator {
             stage_state: a_to_b.initial_state(),
             profile: a_to_b,
             busy: false,
+            up: true,
             counters: LinkCounters::default(),
             last_tx: (usize::MAX, Duration::ZERO),
         });
@@ -354,6 +371,7 @@ impl Simulator {
             stage_state: b_to_a.initial_state(),
             profile: b_to_a,
             busy: false,
+            up: true,
             counters: LinkCounters::default(),
             last_tx: (usize::MAX, Duration::ZERO),
         });
@@ -472,6 +490,113 @@ impl Simulator {
         );
     }
 
+    /// Schedules one dynamic [`NetEvent`] at `at`. The event shares the
+    /// timing wheel with frame traffic, so it applies at exactly that
+    /// quantum, interleaved in submission order with everything else
+    /// scheduled there.
+    pub fn schedule_event(&mut self, at: SimTime, event: NetEvent) {
+        assert!(at >= self.now, "cannot schedule an event into the past");
+        self.events.push(at, EventKind::Net(Box::new(event)));
+    }
+
+    /// Schedules every entry of `timeline` ([`Self::schedule_event`] per
+    /// entry, preserving push order for same-quantum entries).
+    pub fn install_timeline(&mut self, timeline: EventTimeline) {
+        for (at, event) in timeline.into_entries() {
+            self.schedule_event(at, event);
+        }
+    }
+
+    /// True while `node` is paused by [`NetEvent::NodePause`].
+    pub fn is_paused(&self, node: NodeId) -> bool {
+        self.paused[node]
+    }
+
+    /// True while the direction leaving `node` on `iface` is up.
+    pub fn link_up(&self, node: NodeId, iface: IfaceId) -> bool {
+        self.dirs[self.ifaces[node][iface]].up
+    }
+
+    /// Applies one dynamic event (see [`crate::events`] for semantics).
+    fn apply_net_event(&mut self, event: NetEvent) {
+        self.stats.add("events.applied", 1);
+        match event {
+            NetEvent::LinkDown { node, iface } => self.set_link_state(node, iface, false),
+            NetEvent::LinkUp { node, iface } => self.set_link_state(node, iface, true),
+            NetEvent::ProfileSwap {
+                node,
+                iface,
+                profile,
+            } => {
+                let dir = self.ifaces[node][iface];
+                let this = &mut *self;
+                let d = &mut this.dirs[dir];
+                // Rebuild the queue only when the discipline actually
+                // changed; a bandwidth/latency/stage swap keeps queued
+                // frames. A rebuilt queue flushes its contents as queue
+                // drops (the reconfigured discipline starts empty).
+                if d.profile.queue != profile.queue || d.profile.queue_bytes != profile.queue_bytes
+                {
+                    let mut old = std::mem::replace(&mut d.queue, profile.make_queue());
+                    while let Some(q) = old.dequeue() {
+                        d.counters.queue_drops += 1;
+                        this.pool.recycle(q.frame);
+                    }
+                }
+                let d = &mut this.dirs[dir];
+                d.stage_state = profile.initial_state();
+                d.profile = profile;
+                // The serialization memo keys on the old bandwidth.
+                d.last_tx = (usize::MAX, Duration::ZERO);
+            }
+            NetEvent::Partition { group } => self.set_partition_state(&group, false),
+            NetEvent::Heal { group } => self.set_partition_state(&group, true),
+            NetEvent::NodePause { node } => self.paused[node] = true,
+            NetEvent::NodeResume { node } => self.paused[node] = false,
+            NetEvent::PolicySwitch { node, policy } => {
+                if let Some(router) = self.node_mut::<RouterNode>(node) {
+                    router.set_policy(policy);
+                }
+            }
+        }
+    }
+
+    /// Raises or downs both directions of the link at `(node, iface)`.
+    /// Directions are allocated in pairs by [`Self::connect`], so the
+    /// reverse of direction `d` is `d ^ 1`.
+    fn set_link_state(&mut self, node: NodeId, iface: IfaceId, up: bool) {
+        let dir = self.ifaces[node][iface];
+        self.set_dir_state(dir, up);
+        self.set_dir_state(dir ^ 1, up);
+    }
+
+    /// Raises or downs every direction crossing the boundary of `group`.
+    fn set_partition_state(&mut self, group: &[NodeId], up: bool) {
+        for dir in 0..self.dirs.len() {
+            let from = self.dirs[dir ^ 1].to_node;
+            let to = self.dirs[dir].to_node;
+            if group.contains(&from) != group.contains(&to) {
+                self.set_dir_state(dir, up);
+            }
+        }
+    }
+
+    /// Sets one direction's administrative state. Downing a direction
+    /// flushes its queue into `down_drops`; the frame currently on the
+    /// wire (if any) still arrives — the wire does not lose what it
+    /// already carries.
+    fn set_dir_state(&mut self, dir: usize, up: bool) {
+        let this = &mut *self;
+        let d = &mut this.dirs[dir];
+        d.up = up;
+        if !up {
+            while let Some(q) = d.queue.dequeue() {
+                d.counters.down_drops += 1;
+                this.pool.recycle(q.frame);
+            }
+        }
+    }
+
     /// Calls `on_start` on every node (once).
     pub fn start(&mut self) {
         if self.started {
@@ -530,13 +655,27 @@ impl Simulator {
         self.events_processed += 1;
         match kind {
             EventKind::Deliver { node, iface, frame } => {
+                // A paused node is dark: arriving frames vanish at its
+                // door (the link already counted them delivered — the
+                // outage is the node's, not the wire's).
+                if self.paused[node as usize] {
+                    self.stats.add("events.pause_drops", 1);
+                    self.pool.recycle(frame);
+                    return;
+                }
                 self.dispatch(node as NodeId, |n, ctx| {
                     n.on_packet(ctx, iface as IfaceId, frame)
                 });
             }
             EventKind::Timer { node, token } => {
+                // Paused nodes lose their timers too (a crashed
+                // middlebox keeps no state) — swallowed, not deferred.
+                if self.paused[node as usize] {
+                    return;
+                }
                 self.dispatch(node as NodeId, |n, ctx| n.on_timer(ctx, token));
             }
+            EventKind::Net(event) => self.apply_net_event(*event),
             EventKind::TxDone { dir } => {
                 let dir = dir as usize;
                 self.dirs[dir].busy = false;
@@ -594,6 +733,11 @@ impl Simulator {
     /// idle, otherwise through the queue discipline (the AQM stage,
     /// which may drop or CE-mark it).
     fn transmit(&mut self, dir: usize, frame: FrameBuf) {
+        if !self.dirs[dir].up {
+            self.dirs[dir].counters.down_drops += 1;
+            self.pool.recycle(frame);
+            return;
+        }
         if self.dirs[dir].busy {
             let draw: f64 = self.rng.gen();
             match self.dirs[dir].queue.enqueue(frame, draw) {

@@ -368,6 +368,16 @@ macro_rules! prop_assert_eq {
             b
         );
     }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            a == b,
+            "assertion failed: {} (left: {:?}, right: {:?})",
+            format!($($fmt)*),
+            a,
+            b
+        );
+    }};
 }
 
 /// `assert_ne!` for property tests.
