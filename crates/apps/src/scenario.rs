@@ -125,15 +125,21 @@ pub enum Scenario {
     /// silent provider and steers to the fallback neutralizer, so
     /// goodput recovers instead of collapsing with the partition.
     FlakyIsp,
+    /// The measurement-plane story: plain UDP through the same DPI ISP
+    /// with the edge probe plane attached — hop-by-hop TTL sweeps plus
+    /// plain-vs-neutralized differential pairs whose delivery gap
+    /// catches the content throttle red-handed from the edge.
+    Detect,
 }
 
 impl Scenario {
     /// All scenarios in canonical run order.
-    pub const ALL: [Scenario; 4] = [
+    pub const ALL: [Scenario; 5] = [
         Scenario::Baseline,
         Scenario::DpiThrottledPlain,
         Scenario::DpiThrottledNeutralized,
         Scenario::FlakyIsp,
+        Scenario::Detect,
     ];
 
     /// Stable scenario name (CLI argument and report header).
@@ -143,6 +149,7 @@ impl Scenario {
             Scenario::DpiThrottledPlain => "dpi-throttled-plain",
             Scenario::DpiThrottledNeutralized => "dpi-throttled-neutralized",
             Scenario::FlakyIsp => "flaky-isp",
+            Scenario::Detect => "detect",
         }
     }
 
@@ -197,6 +204,7 @@ impl Scenario {
             } else {
                 EventTimelineSpec::Static
             },
+            probes: self == Scenario::Detect,
             seed: cfg.seed,
         }
     }
@@ -227,6 +235,8 @@ pub struct ScenarioReport {
     pub counters: Vec<(String, u64)>,
     /// Total simulator events processed.
     pub events: u64,
+    /// Probe-plane evidence ([`Scenario::Detect`] only).
+    pub probe: Option<nn_lab::ProbeSummary>,
 }
 
 impl ScenarioReport {
@@ -253,6 +263,13 @@ impl ScenarioReport {
             ("policy_drops", Json::UInt(self.policy_drops)),
             ("counters", nn_lab::cell::counters_to_json(&self.counters)),
             ("events", Json::UInt(self.events)),
+            (
+                "probe",
+                match &self.probe {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ])
     }
 }
@@ -279,6 +296,19 @@ impl fmt::Display for ScenarioReport {
             "  replies {} verified-return-blocks {} policy-drops {} events {}",
             self.replies, self.verified_return_blocks, self.policy_drops, self.events
         )?;
+        if let Some(p) = &self.probe {
+            writeln!(
+                f,
+                "  probe plain {}/{} ({:>5.1}%) vs neut {}/{} ({:>5.1}%), {} hops heard",
+                p.plain_rx,
+                p.plain_tx,
+                p.plain_delivery() * 100.0,
+                p.neut_rx,
+                p.neut_tx,
+                p.neut_delivery() * 100.0,
+                p.hops.len(),
+            )?;
+        }
         for (name, v) in &self.counters {
             writeln!(f, "  counter {name} = {v}")?;
         }
@@ -298,6 +328,7 @@ pub fn run_scenario(scenario: Scenario, cfg: &ScenarioConfig) -> ScenarioReport 
         policy_drops: report.policy_drops,
         counters: report.counters,
         events: report.events,
+        probe: report.probe,
     }
 }
 
@@ -393,6 +424,23 @@ mod tests {
             flaky.goodput_bps(),
             baseline.goodput_bps()
         );
+    }
+
+    #[test]
+    fn detect_scenario_catches_the_throttle_from_the_edge() {
+        let report = run_scenario(Scenario::Detect, &cfg());
+        let probe = report.probe.as_ref().expect("detect runs the probe plane");
+        assert!(probe.plain_tx >= 10 && probe.plain_tx == probe.neut_tx);
+        assert!(
+            probe.plain_delivery() < probe.neut_delivery() * 0.65,
+            "the DPI throttle must show in the differential pair: plain {} vs neut {}",
+            probe.plain_delivery(),
+            probe.neut_delivery()
+        );
+        assert!(!probe.hops.is_empty(), "the TTL sweep names the path");
+        // The other presets stay probe-free.
+        let base = run_scenario(Scenario::Baseline, &cfg());
+        assert!(base.probe.is_none());
     }
 
     #[test]

@@ -424,6 +424,7 @@ pub fn matrix() {
         adversary: AdversarySpec::content_dpi_default(),
         stack: StackKind::Plain,
         events: EventTimelineSpec::Static,
+        probes: false,
         seed: 1,
     };
     bench("cell_plain_dpi_200ms", iters(20), || {
@@ -447,6 +448,7 @@ pub fn matrix() {
         stacks: vec![StackKind::Plain],
         events: vec![EventTimelineSpec::Static],
         seeds: vec![1],
+        probes: false,
         tuning,
     };
     for threads in [1usize, 4] {

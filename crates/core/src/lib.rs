@@ -19,6 +19,9 @@
 //!   multiple neutral providers, including trial-and-error probing.
 //! * [`wire`] — application-layer framing inside neutralized packets:
 //!   end-to-end transport messages, key-fetch and pushback payloads.
+//! * [`probe`] — active-measurement probe payloads: the edge
+//!   measurement plane's hop, differential-pair, size and reorder
+//!   trains over the wire.
 //! * [`app`] — the workload interface host stacks drive, so the same
 //!   application runs unchanged over plain and neutralized transports.
 
@@ -28,6 +31,7 @@
 pub mod app;
 pub mod multihome;
 pub mod neutralizer;
+pub mod probe;
 pub mod pushback;
 pub mod qos;
 pub mod wire;
@@ -35,5 +39,6 @@ pub mod wire;
 pub use app::{AppCommand, AppSource, EchoApp, NullApp, ScriptedApp};
 pub use multihome::{NeutralizerSelector, SelectPolicy};
 pub use neutralizer::{MasterKeyEpochs, NeutralizerConfig, NeutralizerNode};
+pub use probe::{ProbeKind, ProbePayload};
 pub use pushback::{PushbackConfig, PushbackEngine};
 pub use wire::{InnerPayload, KeyFetchReply, KeyFetchReq, PushbackMsg, TransportMsg};

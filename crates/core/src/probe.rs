@@ -1,0 +1,164 @@
+//! Active-measurement probe payloads — the wire format of the edge
+//! measurement plane.
+//!
+//! A user at the edge of the network cannot see an ISP's queues; what
+//! they *can* do is send crafted packets and compare how the network
+//! treats them (the NetPoke-style "why is it slow" question the
+//! measurement plane answers). Every probe packet carries a
+//! [`ProbePayload`]: a kind tag, a train-local sequence number, and the
+//! sender's clock, so a response — an echo from the far end, or a
+//! router's TTL time-exceeded reply quoting the header — attributes
+//! itself to exactly one emitted probe.
+//!
+//! The differential pair is the paper-specific instrument: a
+//! [`ProbeKind::DiffPlain`] probe looks like the protected application
+//! (same destination port, same DPI-visible content marker) while its
+//! [`ProbeKind::DiffNeut`] twin is unclassifiable, and both travel the
+//! same path back-to-back. A discriminator keyed on classification
+//! (content DPI, port blocks, port-targeted jitter) treats the twins
+//! differently; a blanket policy (tiered priority over everything)
+//! cannot be told apart from plain congestion this way — the detection
+//! asymmetry the `detection` matrix documents.
+
+/// Magic prefix of every probe payload.
+pub const PROBE_MAGIC: &[u8; 4] = b"NNPR";
+
+/// Encoded probe header length: magic(4) ‖ kind(1) ‖ seq(4) ‖ sent_ns(8).
+pub const PROBE_HEADER_LEN: usize = 17;
+
+/// What a probe is measuring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeKind {
+    /// Hop-by-hop delay probe: sent with a small TTL so router `ttl`
+    /// answers with a time-exceeded reply carrying its clock.
+    Hop,
+    /// The application-lookalike half of a differential pair.
+    DiffPlain,
+    /// The unclassifiable half of a differential pair.
+    DiffNeut,
+    /// MTU/size train member (padded to a target frame size).
+    Size,
+    /// Reorder train member (a back-to-back burst whose echo order
+    /// exposes path reordering).
+    Reorder,
+}
+
+impl ProbeKind {
+    fn code(self) -> u8 {
+        match self {
+            ProbeKind::Hop => 1,
+            ProbeKind::DiffPlain => 2,
+            ProbeKind::DiffNeut => 3,
+            ProbeKind::Size => 4,
+            ProbeKind::Reorder => 5,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<ProbeKind> {
+        Some(match code {
+            1 => ProbeKind::Hop,
+            2 => ProbeKind::DiffPlain,
+            3 => ProbeKind::DiffNeut,
+            4 => ProbeKind::Size,
+            5 => ProbeKind::Reorder,
+            _ => return None,
+        })
+    }
+}
+
+/// One probe packet's payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbePayload {
+    /// What this probe measures.
+    pub kind: ProbeKind,
+    /// Train-local sequence number (for hop probes, the emitted TTL).
+    pub seq: u32,
+    /// The prober's clock at emission, nanoseconds.
+    pub sent_ns: u64,
+}
+
+impl ProbePayload {
+    /// Encodes the probe header followed by `extra` filler bytes
+    /// (content markers, size padding). Layout:
+    /// `NNPR ‖ kind(1) ‖ seq(4 BE) ‖ sent_ns(8 BE) ‖ extra`.
+    pub fn encode(&self, extra: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(PROBE_HEADER_LEN + extra.len());
+        out.extend_from_slice(PROBE_MAGIC);
+        out.push(self.kind.code());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.sent_ns.to_be_bytes());
+        out.extend_from_slice(extra);
+        out
+    }
+
+    /// Decodes a probe header, returning the payload and the trailing
+    /// filler bytes. `None` on bad magic, unknown kind, or truncation —
+    /// a responder must never echo garbage as measurement data.
+    pub fn decode(bytes: &[u8]) -> Option<(ProbePayload, &[u8])> {
+        if bytes.len() < PROBE_HEADER_LEN || &bytes[..4] != PROBE_MAGIC {
+            return None;
+        }
+        let kind = ProbeKind::from_code(bytes[4])?;
+        let seq = u32::from_be_bytes(bytes[5..9].try_into().unwrap());
+        let sent_ns = u64::from_be_bytes(bytes[9..17].try_into().unwrap());
+        Some((
+            ProbePayload { kind, seq, sent_ns },
+            &bytes[PROBE_HEADER_LEN..],
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_every_kind() {
+        for kind in [
+            ProbeKind::Hop,
+            ProbeKind::DiffPlain,
+            ProbeKind::DiffNeut,
+            ProbeKind::Size,
+            ProbeKind::Reorder,
+        ] {
+            let p = ProbePayload {
+                kind,
+                seq: 0xA1B2C3D4,
+                sent_ns: u64::MAX - 7,
+            };
+            let bytes = p.encode(b"marker bytes");
+            let (decoded, extra) = ProbePayload::decode(&bytes).unwrap();
+            assert_eq!(decoded, p);
+            assert_eq!(extra, b"marker bytes");
+        }
+    }
+
+    #[test]
+    fn malformed_input_rejected() {
+        let good = ProbePayload {
+            kind: ProbeKind::Hop,
+            seq: 1,
+            sent_ns: 2,
+        }
+        .encode(b"");
+        assert!(ProbePayload::decode(&[]).is_none());
+        assert!(ProbePayload::decode(&good[..PROBE_HEADER_LEN - 1]).is_none());
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(ProbePayload::decode(&bad_magic).is_none());
+        let mut bad_kind = good;
+        bad_kind[4] = 99;
+        assert!(ProbePayload::decode(&bad_kind).is_none());
+    }
+
+    #[test]
+    fn header_length_matches_encoding() {
+        let p = ProbePayload {
+            kind: ProbeKind::Size,
+            seq: 0,
+            sent_ns: 0,
+        };
+        assert_eq!(p.encode(b"").len(), PROBE_HEADER_LEN);
+        assert_eq!(p.encode(b"abc").len(), PROBE_HEADER_LEN + 3);
+    }
+}

@@ -14,9 +14,10 @@ use crate::hosts::{
 };
 use crate::json::Json;
 use crate::link::LinkProfileSpec;
+use crate::probe::{ProbeNode, ProbeResponderNode, ProbeSummary};
 use crate::topology::{
-    secondary_dyn_pool, BuiltTopology, SecondaryProvider, TopologySpec, ANYCAST_ADDR, DST_ADDR,
-    SECONDARY_ANYCAST, SRC_ADDR,
+    secondary_dyn_pool, BuiltTopology, ProbePlane, SecondaryProvider, TopologySpec, ANYCAST_ADDR,
+    DST_ADDR, PROBER_ADDR, PROBE_SINK_ADDR, SECONDARY_ANYCAST, SRC_ADDR,
 };
 use crate::workload::WorkloadSpec;
 use nn_core::app::ScriptedApp;
@@ -66,6 +67,10 @@ pub struct CellSpec {
     pub stack: StackKind,
     /// Dynamic-event timeline the network suffers mid-run.
     pub events: EventTimelineSpec,
+    /// Whether the edge measurement plane runs alongside the workload
+    /// (active probe trains plus a far-side responder; see
+    /// [`crate::probe`]).
+    pub probes: bool,
     /// Simulator seed; every random choice flows from it.
     pub seed: u64,
 }
@@ -124,8 +129,16 @@ pub struct CellFlow {
     pub goodput_bps: f64,
     /// Mean one-way delay, milliseconds.
     pub mean_delay_ms: f64,
+    /// Median one-way delay, milliseconds.
+    pub p50_delay_ms: f64,
+    /// 95th-percentile one-way delay, milliseconds.
+    pub p95_delay_ms: f64,
     /// 99th-percentile one-way delay, milliseconds.
     pub p99_delay_ms: f64,
+    /// 99th-percentile delay from the flow's log-scale histogram
+    /// (bucket upper bound, ≤ 25 % relative width) — the mergeable,
+    /// shard-invariant estimate beside the exact `p99_delay_ms`.
+    pub hist_p99_delay_ms: f64,
     /// Mean absolute delay variation, milliseconds.
     pub jitter_ms: f64,
     /// Delivered packets that arrived ECN CE-marked.
@@ -143,7 +156,10 @@ impl CellFlow {
             ("delivery_ratio", Json::Num(self.delivery_ratio)),
             ("goodput_bps", Json::Num(self.goodput_bps)),
             ("mean_delay_ms", Json::Num(self.mean_delay_ms)),
+            ("p50_delay_ms", Json::Num(self.p50_delay_ms)),
+            ("p95_delay_ms", Json::Num(self.p95_delay_ms)),
             ("p99_delay_ms", Json::Num(self.p99_delay_ms)),
+            ("hist_p99_delay_ms", Json::Num(self.hist_p99_delay_ms)),
             ("jitter_ms", Json::Num(self.jitter_ms)),
             ("ce_marks", Json::UInt(self.ce_marks)),
         ])
@@ -179,7 +195,10 @@ impl CellFlow {
             delivery_ratio: num("delivery_ratio")?,
             goodput_bps: num("goodput_bps")?,
             mean_delay_ms: num("mean_delay_ms")?,
+            p50_delay_ms: num("p50_delay_ms")?,
+            p95_delay_ms: num("p95_delay_ms")?,
             p99_delay_ms: num("p99_delay_ms")?,
+            hist_p99_delay_ms: num("hist_p99_delay_ms")?,
             jitter_ms: num("jitter_ms")?,
             ce_marks: uint("ce_marks")?,
         })
@@ -238,6 +257,8 @@ pub struct CellReport {
     pub counters: Vec<(String, u64)>,
     /// Total simulator events processed.
     pub events: u64,
+    /// The measurement plane's evidence (probe-enabled cells only).
+    pub probe: Option<ProbeSummary>,
 }
 
 impl CellReport {
@@ -291,6 +312,10 @@ fn resolve_bootstrap(zone: &ZoneStore, cache: &mut DnsCache, now: SimTime) -> Bo
         dest_pubkey: pubkey,
     }
 }
+
+/// Deepest TTL the hop train sweeps — covers every built shape's router
+/// count; probes whose TTL outlives the path just echo from the far end.
+const PROBE_MAX_TTL: u8 = 8;
 
 /// Derives 16 deterministic master-key bytes from the cell seed.
 fn derive_master_key(seed: u64) -> [u8; 16] {
@@ -390,8 +415,29 @@ pub fn run_cell_with_pool(
         Box::new(PlainServerNode::new(DST_ADDR, tuning.echo))
     };
 
+    // The measurement plane rides beside the workload when the cell asks
+    // for it: an edge prober dressed in this workload's DPI marker and a
+    // far-side responder, crossing the same discriminator.
+    let probe_plane = spec.probes.then(|| ProbePlane {
+        prober: Box::new(ProbeNode::new(
+            PROBER_ADDR,
+            PROBE_SINK_ADDR,
+            spec.workload.marker().to_vec(),
+            tuning.duration,
+            PROBE_MAX_TTL,
+        )) as Box<dyn Node>,
+        responder: Box::new(ProbeResponderNode::new(PROBE_SINK_ADDR)) as Box<dyn Node>,
+    });
+
     let built: BuiltTopology = spec.topology.build(
-        &mut sim, src_node, neut_node, secondary, dst_node, dyn_pool, &spec.link,
+        &mut sim,
+        src_node,
+        neut_node,
+        secondary,
+        dst_node,
+        dyn_pool,
+        &spec.link,
+        probe_plane,
     );
 
     // The discriminatory policy goes on the topology's designated
@@ -449,6 +495,14 @@ pub fn run_cell_with_pool(
         "source.failovers",
         "events.applied",
         "events.pause_drops",
+        "probe.pairs_tx",
+        "probe.plain_rx",
+        "probe.neut_rx",
+        "probe.hops_tx",
+        "probe.hop_rx",
+        "probe.size_rx",
+        "probe.reorder_rx",
+        "probe.responder_echoed",
     ]
     .into_iter()
     .map(|name| (name.to_string(), sim.stats().counter(name)))
@@ -480,12 +534,25 @@ pub fn run_cell_with_pool(
             delivery_ratio: fs.delivery_ratio(),
             goodput_bps: fs.goodput_bps(),
             mean_delay_ms: fs.mean_delay() * 1_000.0,
+            p50_delay_ms: fs.delay_percentile(50.0) * 1_000.0,
+            p95_delay_ms: fs.delay_percentile(95.0) * 1_000.0,
             p99_delay_ms: fs.delay_percentile(99.0) * 1_000.0,
+            hist_p99_delay_ms: if fs.delay_hist.is_empty() {
+                0.0
+            } else {
+                fs.delay_hist.quantile_upper(0.99) as f64 / 1e6
+            },
             jitter_ms: fs.jitter() * 1_000.0,
             ce_marks: fs.ce_marks,
         }],
         None => Vec::new(),
     };
+
+    // Probe evidence comes off the prober node itself — never out of
+    // flow stats, which the measurement plane leaves untouched.
+    let probe = built
+        .prober
+        .map(|p| sim.node_ref::<ProbeNode>(p).expect("probe node").summary());
 
     let events = sim.events_processed();
     *pool = sim.take_pool();
@@ -498,6 +565,7 @@ pub fn run_cell_with_pool(
         policy_drops,
         counters,
         events,
+        probe,
     }
 }
 
@@ -513,6 +581,7 @@ mod tests {
             adversary,
             stack,
             events: EventTimelineSpec::Static,
+            probes: false,
             seed: 7,
         }
     }
@@ -643,6 +712,7 @@ mod tests {
             adversary,
             stack,
             events: EventTimelineSpec::Static,
+            probes: false,
             seed: 5,
         };
         let baseline = run_cell(&mk(AdversarySpec::None, StackKind::Plain), &tuning);
@@ -652,5 +722,69 @@ mod tests {
         );
         assert!(baseline.flows[0].delivery_ratio > 0.99);
         assert!(throttled.goodput_bps() < baseline.goodput_bps() * 0.6);
+    }
+
+    /// The probe plane rides alongside the application without touching
+    /// its accounting: a probes-on cell reports the same flow metrics as
+    /// the probes-off cell, plus differential evidence that catches the
+    /// content-DPI discriminator red-handed.
+    #[test]
+    fn probe_plane_observes_dpi_without_perturbing_the_flow() {
+        let tuning = CellTuning::fast();
+        let quiet = cell(AdversarySpec::content_dpi_default(), StackKind::Plain);
+        let probed = CellSpec {
+            probes: true,
+            ..quiet.clone()
+        };
+        let without = run_cell(&quiet, &tuning);
+        let with = run_cell(&probed, &tuning);
+        assert!(without.probe.is_none());
+        let probe = with.probe.as_ref().expect("probes knob yields a summary");
+
+        // Goodput accounting is untouched by probe traffic: the only
+        // flow is still the application's, with the same send schedule.
+        // (Delivery may shift by a packet or two — plain probes share
+        // the discriminator's token bucket, which is physical contention
+        // on the path, not accounting contamination.)
+        assert_eq!(with.flows.len(), 1);
+        assert_eq!(with.flows[0].flow, "voip");
+        assert_eq!(without.flows[0].tx_packets, with.flows[0].tx_packets);
+        assert!(
+            (without.flows[0].delivery_ratio - with.flows[0].delivery_ratio).abs() < 0.05,
+            "probe load must stay a light perturbation: {} vs {}",
+            without.flows[0].delivery_ratio,
+            with.flows[0].delivery_ratio
+        );
+
+        // Differential evidence: the application-lookalike half starves
+        // under the DPI throttle while its unclassifiable twin sails.
+        assert!(probe.plain_tx >= 10 && probe.plain_tx == probe.neut_tx);
+        assert!(probe.neut_delivery() > 0.9, "neut twin unaffected");
+        assert!(
+            probe.plain_delivery() < probe.neut_delivery() * 0.65,
+            "plain {} vs neut {}",
+            probe.plain_delivery(),
+            probe.neut_delivery()
+        );
+
+        // The hop train names the path's routers.
+        assert!(!probe.hops.is_empty(), "TTL sweep heard replies");
+    }
+
+    #[test]
+    fn probe_summary_percentiles_populate_cell_flows() {
+        let report = run_cell(
+            &cell(AdversarySpec::None, StackKind::Plain),
+            &CellTuning::fast(),
+        );
+        let f = &report.flows[0];
+        assert!(f.p50_delay_ms > 0.0 && f.p50_delay_ms <= f.p95_delay_ms);
+        assert!(f.p95_delay_ms <= f.p99_delay_ms);
+        assert!(
+            f.hist_p99_delay_ms >= f.p99_delay_ms * 0.75,
+            "histogram p99 upper bound {} brackets exact p99 {}",
+            f.hist_p99_delay_ms,
+            f.p99_delay_ms
+        );
     }
 }

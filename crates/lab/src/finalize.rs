@@ -13,12 +13,20 @@
 //! [`ExperimentSpec`] (not display names, which may drop parameters —
 //! two dumbbells with different bottlenecks must not share a baseline),
 //! so finalization needs the spec the cells were planned from.
+//!
+//! When a cell carries probe evidence, finalization also runs the
+//! discrimination-inference pass: compare the differential-pair and
+//! path-histogram evidence against the cell's baseline and emit a
+//! [`Verdict`], scored against adversary-axis ground truth into a
+//! matrix-level [`DetectionSummary`].
 
 use crate::adversary::AdversarySpec;
 use crate::cell::StackKind;
 use crate::events::EventTimelineSpec;
+use crate::json::Json;
 use crate::link::LinkProfileSpec;
 use crate::matrix::{ExperimentSpec, MatrixCell, RelativeMetrics};
+use crate::probe::ProbeSummary;
 use crate::topology::TopologySpec;
 use crate::workload::WorkloadSpec;
 
@@ -32,6 +40,186 @@ struct Baseline {
     goodput: f64,
     delay: f64,
     jitter: f64,
+    hist_p99: f64,
+}
+
+/// The discrimination-inference verdict for one probed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Did the inference pass conclude the path discriminates?
+    pub detected: bool,
+    /// Suspected mechanism (`"blocking"`, `"content-throttle"`,
+    /// `"delay-injection"`); `"none"` when undetected.
+    pub mechanism: String,
+    /// Confidence in the stated verdict, 0–1.
+    pub confidence: f64,
+    /// Adversary-axis ground truth: `"negative"` (no discrimination),
+    /// `"positive"` (discriminating and visible to differential
+    /// probing), or `"evades"` (discriminating, but treating both probe
+    /// twins identically — excluded from precision/recall scoring).
+    pub truth: String,
+    /// Did the flow's delay-histogram p99 corroborate the verdict by
+    /// inflating more than 3× over the baseline cell's?
+    pub corroborated: bool,
+}
+
+impl Verdict {
+    /// Canonical JSON object for the verdict.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("detected", Json::Bool(self.detected)),
+            ("mechanism", Json::Str(self.mechanism.clone())),
+            ("confidence", Json::Num(self.confidence)),
+            ("truth", Json::Str(self.truth.clone())),
+            ("corroborated", Json::Bool(self.corroborated)),
+        ])
+    }
+
+    /// Parses a verdict back from its JSON object.
+    pub fn from_json(v: &Json) -> Result<Verdict, String> {
+        let field = |k: &str| v.get(k).ok_or_else(|| format!("verdict missing {k:?}"));
+        let boolean = |k: &str| {
+            field(k)?
+                .as_bool()
+                .ok_or_else(|| format!("verdict field {k:?} is not a bool"))
+        };
+        let string = |k: &str| {
+            Ok::<String, String>(
+                field(k)?
+                    .as_str()
+                    .ok_or_else(|| format!("verdict field {k:?} is not a string"))?
+                    .to_string(),
+            )
+        };
+        Ok(Verdict {
+            detected: boolean("detected")?,
+            mechanism: string("mechanism")?,
+            confidence: field("confidence")?
+                .as_f64()
+                .ok_or("verdict field \"confidence\" malformed")?,
+            truth: string("truth")?,
+            corroborated: boolean("corroborated")?,
+        })
+    }
+}
+
+/// Matrix-level scoring of every verdict against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionSummary {
+    /// Cells carrying a verdict (including `"evades"` ground truth).
+    pub scored: u64,
+    /// Detected cells whose ground truth is `"positive"`.
+    pub true_positives: u64,
+    /// Detected cells whose ground truth is `"negative"`.
+    pub false_positives: u64,
+    /// Undetected cells whose ground truth is `"positive"`.
+    pub false_negatives: u64,
+    /// `tp / (tp + fp)`; `NaN` (JSON `null`) when nothing was detected.
+    pub precision: f64,
+    /// `tp / (tp + fn)`; `"evades"` cells are excluded from the
+    /// denominator — a mechanism invisible to differential probing is a
+    /// documented limitation, not an inference miss.
+    pub recall: f64,
+}
+
+/// Scores every verdict-carrying cell against its adversary-axis ground
+/// truth. `None` when no cell was probed.
+pub fn score_verdicts(cells: &[MatrixCell]) -> Option<DetectionSummary> {
+    let (mut scored, mut tp, mut fp, mut fne) = (0u64, 0u64, 0u64, 0u64);
+    for c in cells {
+        let Some(v) = &c.verdict else { continue };
+        scored += 1;
+        match (v.detected, v.truth.as_str()) {
+            (true, "positive") => tp += 1,
+            (true, "negative") => fp += 1,
+            (false, "positive") => fne += 1,
+            _ => {}
+        }
+    }
+    if scored == 0 {
+        return None;
+    }
+    let ratio = |num: u64, den: u64| {
+        if den == 0 {
+            f64::NAN
+        } else {
+            num as f64 / den as f64
+        }
+    };
+    Some(DetectionSummary {
+        scored,
+        true_positives: tp,
+        false_positives: fp,
+        false_negatives: fne,
+        precision: ratio(tp, tp + fp),
+        recall: ratio(tp, tp + fne),
+    })
+}
+
+/// Adversary-axis ground truth for the inference pass.
+fn ground_truth(adversary: &AdversarySpec) -> &'static str {
+    match adversary {
+        AdversarySpec::None => "negative",
+        // Classification-keyed mechanisms treat the application-lookalike
+        // probe differently from its unclassifiable twin — visible.
+        AdversarySpec::ContentDpi { .. }
+        | AdversarySpec::PortBlock
+        | AdversarySpec::DelayJitter { .. } => "positive",
+        // Tiered priority throttles everything below the premium DSCP
+        // band — both twins alike, indistinguishable from congestion.
+        // Address drops target the application's destination prefix, not
+        // the probe sink, so probes never see them either.
+        AdversarySpec::TieredPriority { .. } | AdversarySpec::AddressDrop { .. } => "evades",
+    }
+}
+
+/// The inference pass for one probed cell: weigh the differential-pair
+/// delivery and RTT evidence, corroborate against the baseline's delay
+/// histogram, and name the most likely mechanism.
+fn infer_verdict(
+    adversary: &AdversarySpec,
+    probe: &ProbeSummary,
+    hist_p99_ms: f64,
+    baseline_p99_ms: f64,
+) -> Verdict {
+    let neut = probe.neut_delivery();
+    let plain = probe.plain_delivery();
+    // Delivery differential only means something when the neutral twin
+    // actually got through — a path dropping everything is congestion
+    // (or an outage), not discrimination.
+    let delivery_ratio = if neut > 0.0 { plain / neut } else { 1.0 };
+    let rtt_ratio = if probe.plain_rtt_ms.is_finite()
+        && probe.neut_rtt_ms.is_finite()
+        && probe.neut_rtt_ms > 0.0
+    {
+        probe.plain_rtt_ms / probe.neut_rtt_ms
+    } else {
+        1.0
+    };
+    let corroborated = baseline_p99_ms > 0.0 && hist_p99_ms > 3.0 * baseline_p99_ms;
+    let (detected, mechanism, confidence) = if neut >= 0.5 && delivery_ratio < 0.1 {
+        (true, "blocking", 1.0 - delivery_ratio)
+    } else if neut >= 0.5 && delivery_ratio < 0.65 {
+        (true, "content-throttle", 1.0 - delivery_ratio)
+    } else if rtt_ratio > 2.0 {
+        (
+            true,
+            "delay-injection",
+            (1.0 - 2.0 / rtt_ratio).clamp(0.0, 1.0),
+        )
+    } else {
+        // No differential: whatever the twins suffered, they suffered
+        // equally. Tiered priority lands here by design — the documented
+        // evasion of naive differential probing.
+        (false, "none", delivery_ratio.clamp(0.0, 1.0))
+    };
+    Verdict {
+        detected,
+        mechanism: mechanism.to_string(),
+        confidence,
+        truth: ground_truth(adversary).to_string(),
+        corroborated,
+    }
 }
 
 /// Computes baseline-relative metrics in place over the complete,
@@ -64,6 +252,12 @@ pub fn finalize_relative(cells: &mut [MatrixCell], spec: &ExperimentSpec) {
                 goodput: c.report.goodput_bps(),
                 delay: c.report.mean_delay_ms(),
                 jitter: c.report.jitter_ms(),
+                hist_p99: c
+                    .report
+                    .flows
+                    .first()
+                    .map(|f| f.hist_p99_delay_ms)
+                    .unwrap_or(0.0),
             });
         }
     }
@@ -87,6 +281,18 @@ pub fn finalize_relative(cells: &mut [MatrixCell], spec: &ExperimentSpec) {
                 mean_delay_ratio: ratio(cell.report.mean_delay_ms(), b.delay),
                 jitter_ratio: ratio(cell.report.jitter_ms(), b.jitter),
             }
+        });
+        // This pass owns the verdict too — recomputed unconditionally,
+        // so an edited shard file can never smuggle one in.
+        cell.verdict = cell.report.probe.as_ref().map(|p| {
+            let hist_p99 = cell
+                .report
+                .flows
+                .first()
+                .map(|f| f.hist_p99_delay_ms)
+                .unwrap_or(0.0);
+            let base_p99 = base.map(|b| b.hist_p99).unwrap_or(0.0);
+            infer_verdict(&mc.cell.adversary, p, hist_p99, base_p99)
         });
     }
 }

@@ -25,6 +25,10 @@
 //! * [`events`] — the dynamic-events axis: named timeline presets
 //!   (static, flap, partition-heal, neut-outage) lowered onto
 //!   [`nn_netsim::EventTimeline`]s against the built topology.
+//! * [`probe`] — the edge measurement plane: an active prober emitting
+//!   hop-by-hop TTL sweeps, plain-vs-neutralized differential pairs and
+//!   size/reorder trains, folded into per-cell [`probe::ProbeSummary`]
+//!   evidence for the discrimination-inference pass.
 //! * [`cell`] — one deterministic simulation of one axis combination.
 //! * [`matrix`] — the spec, hashed per-cell seeds, named matrices, and
 //!   JSON/CSV reports.
@@ -58,6 +62,7 @@ pub mod json;
 pub mod link;
 pub mod matrix;
 pub mod plan;
+pub mod probe;
 pub mod shard;
 pub mod topology;
 pub mod workload;
@@ -67,8 +72,10 @@ pub use cell::{
     run_cell, run_cell_with_pool, CellFlow, CellReport, CellSpec, CellTuning, StackKind,
 };
 pub use events::EventTimelineSpec;
-pub use executor::{run_shard, CellExecutor, ProcessExecutor, ThreadExecutor};
-pub use finalize::finalize_relative;
+pub use executor::{
+    run_shard, run_shard_with_progress, CellExecutor, ProcessExecutor, ThreadExecutor,
+};
+pub use finalize::{finalize_relative, score_verdicts, DetectionSummary, Verdict};
 pub use hosts::{
     Bootstrap, NeutralizedServerNode, NeutralizedSourceNode, PlainServerNode, PlainSourceNode,
 };
@@ -78,6 +85,7 @@ pub use matrix::{
     ExperimentSpec, MatrixCell, MatrixReport, RelativeMetrics, NAMED_MATRICES,
 };
 pub use plan::{CellAssignment, CellIter, ExecutionPlan};
+pub use probe::{HopReport, ProbeNode, ProbeResponderNode, ProbeSummary};
 pub use shard::{merge_shards, MergeError, MergedMatrix, ShardReport};
-pub use topology::{TopologySpec, ANYCAST_ADDR, DST_ADDR, SRC_ADDR};
+pub use topology::{TopologySpec, ANYCAST_ADDR, DST_ADDR, PROBER_ADDR, PROBE_SINK_ADDR, SRC_ADDR};
 pub use workload::WorkloadSpec;

@@ -48,6 +48,10 @@ pub struct ExperimentSpec {
     pub events: Vec<EventTimelineSpec>,
     /// Replication axis: one full cross product per entry.
     pub seeds: Vec<u64>,
+    /// Attach the edge measurement plane (active prober + responder) to
+    /// every cell. Deliberately *not* hashed into cell seeds, so turning
+    /// probes on re-measures exactly the cells a probe-less spec ran.
+    pub probes: bool,
     /// Shared non-axis knobs.
     pub tuning: CellTuning,
 }
@@ -145,6 +149,9 @@ pub struct MatrixCell {
     /// Metrics relative to the matching baseline cell, when the matrix
     /// contains one.
     pub relative: Option<RelativeMetrics>,
+    /// The discrimination-inference verdict, when the cell carried
+    /// probe evidence. Owned by the finalize pass, like `relative`.
+    pub verdict: Option<crate::finalize::Verdict>,
 }
 
 /// A cell's headline metrics divided by its baseline cell's.
@@ -293,6 +300,15 @@ impl MatrixCell {
             // "events" is the axis name above; the simulator's processed
             // event count keeps its own key.
             ("sim_events", Json::UInt(self.report.events)),
+            // Raw probe evidence travels the shard wire; the verdict it
+            // supports is finalize-owned, like `relative`.
+            (
+                "probe",
+                match &self.report.probe {
+                    Some(p) => p.to_json(),
+                    None => Json::Null,
+                },
+            ),
         ];
         if include_relative {
             let relative = match &self.relative {
@@ -304,6 +320,11 @@ impl MatrixCell {
                 None => Json::Null,
             };
             pairs.push(("relative", relative));
+            let verdict = match &self.verdict {
+                Some(v) => v.to_json(),
+                None => Json::Null,
+            };
+            pairs.push(("verdict", verdict));
         }
         Json::obj(pairs)
     }
@@ -349,6 +370,14 @@ impl MatrixCell {
                 })
             }
         };
+        let probe = match v.get("probe") {
+            None | Some(Json::Null) => None,
+            Some(p) => Some(crate::probe::ProbeSummary::from_json(p)?),
+        };
+        let verdict = match v.get("verdict") {
+            None | Some(Json::Null) => None,
+            Some(j) => Some(crate::finalize::Verdict::from_json(j)?),
+        };
         let sim_seed = uint("sim_seed")?;
         Ok(MatrixCell {
             index: uint("index")? as usize,
@@ -368,16 +397,35 @@ impl MatrixCell {
                 policy_drops: uint("policy_drops")?,
                 counters,
                 events: uint("sim_events")?,
+                probe,
             },
             relative,
+            verdict,
         })
     }
 }
 
 impl MatrixReport {
+    /// Scores every probed cell's verdict against ground truth; `None`
+    /// when the matrix ran without probes.
+    pub fn detection_summary(&self) -> Option<crate::finalize::DetectionSummary> {
+        crate::finalize::score_verdicts(&self.cells)
+    }
+
     /// Renders the full report as JSON.
     pub fn to_json(&self) -> String {
         let cells: Vec<Json> = self.cells.iter().map(|c| c.to_json(true)).collect();
+        let detection = match self.detection_summary() {
+            Some(d) => Json::obj(vec![
+                ("scored", Json::UInt(d.scored)),
+                ("true_positives", Json::UInt(d.true_positives)),
+                ("false_positives", Json::UInt(d.false_positives)),
+                ("false_negatives", Json::UInt(d.false_negatives)),
+                ("precision", Json::Num(d.precision)),
+                ("recall", Json::Num(d.recall)),
+            ]),
+            None => Json::Null,
+        };
         Json::obj(vec![
             ("matrix", Json::Str(self.name.clone())),
             ("cell_count", Json::UInt(self.cells.len() as u64)),
@@ -388,22 +436,28 @@ impl MatrixReport {
                     ("recycled", Json::UInt(self.pool_recycled)),
                 ]),
             ),
+            ("detection", detection),
             ("cells", Json::Arr(cells)),
         ])
         .render()
     }
 
-    /// Renders one CSV row per cell (first flow's metrics; relative
-    /// columns empty when the cell has no baseline).
+    /// Renders one CSV row per cell (first flow's metrics; relative and
+    /// verdict columns empty when the cell has no baseline / no probes;
+    /// `precision`/`recall` are the matrix-level scores repeated on
+    /// every verdict-carrying row so a flat-file consumer keeps them).
     pub fn to_csv(&self) -> String {
+        let detection = self.detection_summary();
         let mut out = String::from(
             "index,topology,link,workload,adversary,stack,events,seed_axis,sim_seed,flow,\
-             tx_packets,rx_packets,delivery_ratio,goodput_bps,mean_delay_ms,p99_delay_ms,\
-             jitter_ms,ce_marks,replies,verified_return_blocks,policy_drops,sim_events,\
-             goodput_ratio,mean_delay_ratio,jitter_ratio\n",
+             tx_packets,rx_packets,delivery_ratio,goodput_bps,mean_delay_ms,p50_delay_ms,\
+             p95_delay_ms,p99_delay_ms,hist_p99_delay_ms,jitter_ms,ce_marks,replies,\
+             verified_return_blocks,policy_drops,sim_events,\
+             goodput_ratio,mean_delay_ratio,jitter_ratio,\
+             verdict,mechanism,confidence,truth,precision,recall\n",
         );
         for c in &self.cells {
-            let (flow, tx, rx, delivery, goodput, mean_d, p99, jitter, ce) =
+            let (flow, tx, rx, delivery, goodput, mean_d, p50, p95, p99, hp99, jitter, ce) =
                 match c.report.flows.first() {
                     Some(f) => (
                         f.flow.as_str(),
@@ -412,11 +466,14 @@ impl MatrixReport {
                         f.delivery_ratio,
                         f.goodput_bps,
                         f.mean_delay_ms,
+                        f.p50_delay_ms,
+                        f.p95_delay_ms,
                         f.p99_delay_ms,
+                        f.hist_p99_delay_ms,
                         f.jitter_ms,
                         f.ce_marks,
                     ),
-                    None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0),
+                    None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0),
                 };
             let rel = match &c.relative {
                 Some(r) => format!(
@@ -425,8 +482,20 @@ impl MatrixReport {
                 ),
                 None => ",,".to_string(),
             };
+            let verdict = match (&c.verdict, &detection) {
+                (Some(v), Some(d)) => format!(
+                    "{},{},{},{},{},{}",
+                    if v.detected { "detected" } else { "undetected" },
+                    v.mechanism,
+                    v.confidence,
+                    v.truth,
+                    d.precision,
+                    d.recall,
+                ),
+                _ => ",,,,,".to_string(),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 c.index,
                 c.topology,
                 c.link,
@@ -442,7 +511,10 @@ impl MatrixReport {
                 delivery,
                 goodput,
                 mean_d,
+                p50,
+                p95,
                 p99,
+                hp99,
                 jitter,
                 ce,
                 c.report.replies,
@@ -450,6 +522,7 @@ impl MatrixReport {
                 c.report.policy_drops,
                 c.report.events,
                 rel,
+                verdict,
             ));
         }
         out
@@ -475,6 +548,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             stacks: vec![StackKind::Plain],
             events: vec![EventTimelineSpec::Static, EventTimelineSpec::Flap],
             seeds: vec![1, 2],
+            probes: false,
             tuning: CellTuning::fast(),
         },
         // The headline matrix: every combination the paper's claim needs,
@@ -492,6 +566,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
+            probes: false,
             tuning: CellTuning::fast(),
         },
         // The congestion story the flat link API could not tell: a
@@ -516,6 +591,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
+            probes: false,
             tuning: CellTuning::fast(),
         },
         // Everything: 4 topologies × 3 links × 4 workloads ×
@@ -550,6 +626,7 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
+            probes: false,
             tuning: CellTuning::fast(),
         },
         // The flaky-ISP recovery matrix: a multihomed destination under
@@ -565,6 +642,31 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
             events: vec![EventTimelineSpec::Static, EventTimelineSpec::PartitionHeal],
             seeds: vec![1, 2],
+            probes: false,
+            tuning: CellTuning::fast(),
+        },
+        // The measurement-plane matrix: probes on, one detectable
+        // discriminator per mechanism plus the tiered-priority evasion.
+        // Content DPI and the port block show up in differential-pair
+        // delivery, injected jitter in the differential RTT ratio, while
+        // tiered priority throttles both probe twins identically and
+        // stays invisible to naive differential probing — 10 cells.
+        "detection" => ExperimentSpec {
+            name: "detection".to_string(),
+            topologies: vec![TopologySpec::chain()],
+            links: vec![LinkProfileSpec::Clean],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![
+                AdversarySpec::None,
+                AdversarySpec::content_dpi_default(),
+                AdversarySpec::PortBlock,
+                AdversarySpec::delay_jitter_default(),
+                AdversarySpec::tiered_default(),
+            ],
+            stacks: vec![StackKind::Plain],
+            events: vec![EventTimelineSpec::Static],
+            seeds: vec![1, 2],
+            probes: true,
             tuning: CellTuning::fast(),
         },
         _ => return None,
@@ -573,7 +675,14 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
 }
 
 /// Names [`named_matrix`] accepts, in documentation order.
-pub const NAMED_MATRICES: [&str; 5] = ["smoke", "default", "congested", "full", "flaky"];
+pub const NAMED_MATRICES: [&str; 6] = [
+    "smoke",
+    "default",
+    "congested",
+    "full",
+    "flaky",
+    "detection",
+];
 
 #[cfg(test)]
 mod tests {
@@ -592,6 +701,7 @@ mod tests {
             stacks: vec![StackKind::Plain],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1, 2],
+            probes: false,
             tuning: CellTuning {
                 duration: Duration::from_millis(200),
                 ..CellTuning::fast()
@@ -673,6 +783,7 @@ mod tests {
             stacks: vec![StackKind::Plain],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1],
+            probes: false,
             tuning: CellTuning {
                 duration: Duration::from_millis(200),
                 ..CellTuning::fast()
@@ -754,6 +865,7 @@ mod tests {
             stacks: vec![StackKind::Plain],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1],
+            probes: false,
             tuning: CellTuning {
                 duration: Duration::from_millis(200),
                 ..CellTuning::fast()
@@ -794,6 +906,7 @@ mod tests {
             stacks: vec![StackKind::Plain, StackKind::Neutralized],
             events: vec![EventTimelineSpec::Static],
             seeds: vec![1],
+            probes: false,
             tuning: CellTuning::fast(),
         };
         let report = run_matrix_with_threads(&spec, 4);

@@ -73,6 +73,7 @@ impl ExperimentSpec {
                 adversary: adversary.clone(),
                 stack,
                 events,
+                probes: self.probes,
                 seed: sim_seed,
             },
         })

@@ -90,13 +90,19 @@ impl ShardReport {
             .ok_or("shard report field \"cells\" is not an array")?
             .iter()
             .map(|c| {
-                // Shard cells are raw metrics only — a `relative` field
-                // means the file is not a worker's output (baselines are
-                // cross-shard context only finalization can compute).
+                // Shard cells are raw metrics only — a `relative` or
+                // `verdict` field means the file is not a worker's output
+                // (baselines and inference are cross-shard context only
+                // finalization can compute).
                 if c.get("relative").is_some_and(|r| *r != Json::Null) {
                     return Err(
                         "shard cells must not carry relative metrics (raw wire format only)"
                             .to_string(),
+                    );
+                }
+                if c.get("verdict").is_some_and(|r| *r != Json::Null) {
+                    return Err(
+                        "shard cells must not carry verdicts (raw wire format only)".to_string()
                     );
                 }
                 MatrixCell::from_json(c)

@@ -54,6 +54,13 @@ pub const SECONDARY_ANYCAST: Ipv4Addr = Ipv4Addr::new(198, 18, 1, 1);
 pub fn secondary_dyn_pool() -> Ipv4Cidr {
     Ipv4Cidr::new(Ipv4Addr::new(198, 19, 254, 0), 24)
 }
+/// The measurement-plane prober's address: its own prefix beside the
+/// source's (the prober is another customer of the same access ISP).
+pub const PROBER_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 114, 10);
+/// The probe responder's address: its own prefix inside the destination
+/// side, distinct from the application destination's `10.7.0.0/16` so
+/// address-keyed policies against the app never touch probe traffic.
+pub const PROBE_SINK_ADDR: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 99);
 
 /// Bandwidth of every non-bottleneck link (10 Mbit/s, the legacy value).
 const LINK_BPS: u64 = 10_000_000;
@@ -138,6 +145,19 @@ pub struct SecondaryProvider {
     pub dyn_pool: Ipv4Cidr,
 }
 
+/// The measurement plane's two nodes, attached by every shape at the
+/// same logical points: the prober beside the source (behind the
+/// discriminator) and the responder on the destination side, so probe
+/// trains cross the policy engine exactly like application traffic.
+/// Attaching the plane also turns on TTL time-exceeded replies on every
+/// router, so hop trains get per-hop timestamps.
+pub struct ProbePlane {
+    /// The probing node (typically [`crate::probe::ProbeNode`]).
+    pub prober: Box<dyn Node>,
+    /// The echoing node (typically [`crate::probe::ProbeResponderNode`]).
+    pub responder: Box<dyn Node>,
+}
+
 /// What a generator built: endpoint ids, the discriminator, and the
 /// advertised prefixes (for assertions and reports).
 #[derive(Debug, Clone)]
@@ -161,6 +181,11 @@ pub struct BuiltTopology {
     pub bottleneck: (NodeId, IfaceId),
     /// The cross-traffic source nodes (empty without background flows).
     pub background: Vec<NodeId>,
+    /// The measurement-plane prober, when a [`ProbePlane`] was attached.
+    pub prober: Option<NodeId>,
+    /// The measurement-plane responder, when a [`ProbePlane`] was
+    /// attached.
+    pub responder: Option<NodeId>,
     /// The nodes that make up the primary provider's path — the set a
     /// partition timeline cuts off to force multihome failover. Empty
     /// for single-provider shapes.
@@ -257,6 +282,9 @@ impl TopologySpec {
     /// path keeps the native wire, so degradation is attributable).
     /// `secondary` is the second provider's neutralizer: required by the
     /// [`TopologySpec::Multihomed`] shape, rejected by every other.
+    /// `probe` optionally attaches the measurement plane: the prober
+    /// lands beside the source, the responder on the destination side,
+    /// and every router answers expired-TTL probes.
     #[allow(clippy::too_many_arguments)]
     pub fn build(
         &self,
@@ -267,6 +295,7 @@ impl TopologySpec {
         dst_node: Box<dyn Node>,
         dyn_pool: Ipv4Cidr,
         link: &LinkProfileSpec,
+        probe: Option<ProbePlane>,
     ) -> BuiltTopology {
         assert!(
             secondary.is_none() || matches!(self, TopologySpec::Multihomed),
@@ -305,7 +334,9 @@ impl TopologySpec {
                 );
                 sim.connect_sym(neut, dst, edge_link());
 
-                let advertised = base_prefixes(src, dst, neut, dyn_pool);
+                let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
+                let (prober, responder) =
+                    attach_probe_plane(sim, probe, routers[0], last, &routers, &mut advertised);
                 install_routes(sim, &routers, &[neut], &advertised);
                 BuiltTopology {
                     src,
@@ -317,6 +348,8 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (last, bneck_iface),
                     background: Vec::new(),
+                    prober,
+                    responder,
                     primary_path: Vec::new(),
                 }
             }
@@ -353,6 +386,8 @@ impl TopologySpec {
                     Ipv4Addr::new(10, 200, 2, 99),
                     &mut advertised,
                 );
+                let (prober, responder) =
+                    attach_probe_plane(sim, probe, isp, core, &[isp, core], &mut advertised);
                 let routers = vec![isp, core];
                 install_routes(sim, &routers, &[neut], &advertised);
                 BuiltTopology {
@@ -365,6 +400,8 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (isp, bneck_iface),
                     background,
+                    prober,
+                    responder,
                     primary_path: Vec::new(),
                 }
             }
@@ -414,6 +451,8 @@ impl TopologySpec {
                 } else {
                     Vec::new()
                 };
+                let (prober, responder) =
+                    attach_probe_plane(sim, probe, hub, hub, &[hub], &mut advertised);
                 let routers = vec![hub];
                 install_routes(sim, &routers, &[neut], &advertised);
                 BuiltTopology {
@@ -426,6 +465,8 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (hub, bneck_iface),
                     background,
+                    prober,
+                    responder,
                     primary_path: Vec::new(),
                 }
             }
@@ -467,7 +508,9 @@ impl TopologySpec {
                 );
                 sim.connect_sym(neut, dst, edge_link());
 
-                let advertised = base_prefixes(src, dst, neut, dyn_pool);
+                let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
+                let (prober, responder) =
+                    attach_probe_plane(sim, probe, routers[0], last, &routers, &mut advertised);
                 install_routes(sim, &routers, &[neut], &advertised);
                 let discriminator = routers[2 * disc_as + 1];
                 BuiltTopology {
@@ -480,6 +523,8 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (last, bneck_iface),
                     background: Vec::new(),
+                    prober,
+                    responder,
                     primary_path: Vec::new(),
                 }
             }
@@ -517,6 +562,14 @@ impl TopologySpec {
                 let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
                 advertised.push((Ipv4Cidr::new(SECONDARY_ANYCAST, 24), neut_b));
                 advertised.push((dyn_pool_b, neut_b));
+                let (prober, responder) = attach_probe_plane(
+                    sim,
+                    probe,
+                    isp,
+                    dstr,
+                    &[isp, prov_a, prov_b, dstr],
+                    &mut advertised,
+                );
                 let routers = vec![isp, prov_a, prov_b, dstr];
                 install_routes(sim, &routers, &[neut, neut_b], &advertised);
                 BuiltTopology {
@@ -529,6 +582,8 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (prov_a, bneck_iface),
                     background: Vec::new(),
+                    prober,
+                    responder,
                     // Cutting off {prov-a, neut} severs isp—prov-a and
                     // neut—dstr: the primary provider is unreachable
                     // while the secondary path stays intact.
@@ -629,6 +684,36 @@ fn attach_background(
         .collect()
 }
 
+/// Attaches a [`ProbePlane`]: the prober beside `near` (the source's
+/// access router), the responder off `far` (the last router before the
+/// destination side), both with their own advertised /24s, and turns on
+/// TTL time-exceeded replies on every router so hop trains measure
+/// per-hop delay. Must run before [`install_routes`].
+fn attach_probe_plane(
+    sim: &mut Simulator,
+    plane: Option<ProbePlane>,
+    near: NodeId,
+    far: NodeId,
+    routers: &[NodeId],
+    advertised: &mut Vec<(Ipv4Cidr, NodeId)>,
+) -> (Option<NodeId>, Option<NodeId>) {
+    let Some(plane) = plane else {
+        return (None, None);
+    };
+    let prober = sim.add_node("prober", plane.prober);
+    let responder = sim.add_node("responder", plane.responder);
+    sim.connect_sym(near, prober, edge_link());
+    sim.connect_sym(far, responder, edge_link());
+    advertised.push((Ipv4Cidr::new(PROBER_ADDR, 24), prober));
+    advertised.push((Ipv4Cidr::new(PROBE_SINK_ADDR, 24), responder));
+    for &r in routers {
+        sim.node_mut::<RouterNode>(r)
+            .expect("router node")
+            .enable_ttl_replies();
+    }
+    (Some(prober), Some(responder))
+}
+
 /// Computes shortest-path tables over the built graph and installs them
 /// on every router and on every neutralizer.
 fn install_routes(
@@ -693,8 +778,79 @@ pub(crate) mod tests {
             Box::new(SinkNode::new()),
             dyn_pool,
             link,
+            None,
         );
         (sim, built)
+    }
+
+    /// Every shape attaches the probe plane behind the discriminator:
+    /// the prober and responder get routable prefixes, and the path
+    /// between them crosses the designated discriminator.
+    #[test]
+    fn probe_plane_attaches_and_routes_in_every_shape() {
+        for spec in [
+            TopologySpec::chain(),
+            TopologySpec::Chain {
+                hops: 3,
+                disc_hop: 1,
+            },
+            TopologySpec::dumbbell_default(),
+            TopologySpec::star_default(),
+            TopologySpec::multi_as_default(),
+            TopologySpec::Multihomed,
+        ] {
+            let mut sim = Simulator::new(1);
+            let config = NeutralizerConfig::new(ANYCAST_ADDR, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+            let dyn_pool = config.dyn_pool;
+            let neut = Box::new(NeutralizerNode::new(config, [7u8; 16]));
+            let secondary = matches!(spec, TopologySpec::Multihomed).then(|| {
+                let mut config_b =
+                    NeutralizerConfig::new(SECONDARY_ANYCAST, vec![Ipv4Cidr::new(DST_ADDR, 16)]);
+                config_b.dyn_pool = secondary_dyn_pool();
+                config_b.stats_name = "neutralizer-b".to_string();
+                SecondaryProvider {
+                    dyn_pool: config_b.dyn_pool,
+                    node: Box::new(NeutralizerNode::new(config_b, [7u8; 16])),
+                }
+            });
+            let plane = ProbePlane {
+                prober: Box::new(SinkNode::new()),
+                responder: Box::new(SinkNode::new()),
+            };
+            let built = spec.build(
+                &mut sim,
+                Box::new(SinkNode::new()),
+                neut,
+                secondary,
+                Box::new(SinkNode::new()),
+                dyn_pool,
+                &LinkProfileSpec::Clean,
+                Some(plane),
+            );
+            let prober = built.prober.expect("prober attached");
+            let responder = built.responder.expect("responder attached");
+            assert_eq!(sim.node_name(prober), "prober", "{}", spec.name());
+            assert_eq!(sim.node_name(responder), "responder", "{}", spec.name());
+            for &r in &built.routers {
+                let router = sim.node_ref::<RouterNode>(r).expect("router");
+                for addr in [PROBER_ADDR, PROBE_SINK_ADDR] {
+                    assert!(
+                        router.routes().lookup(addr).is_some(),
+                        "{}: router {} has no route to {addr}",
+                        spec.name(),
+                        sim.node_name(r)
+                    );
+                }
+            }
+            // The probe path crosses the discriminator: from the
+            // prober's access router, the responder is reached through
+            // the network (not via the prober's own edge), and the
+            // discriminator itself forwards probe traffic.
+            let disc = sim
+                .node_ref::<RouterNode>(built.discriminator)
+                .expect("discriminator is a router");
+            assert!(disc.routes().lookup(PROBE_SINK_ADDR).is_some());
+        }
     }
 
     #[test]

@@ -50,6 +50,7 @@ fn bad_arguments_exit_nonzero_with_usage() {
         &["--worker", "--shard", "0/2", "--csv", "w.csv"],
         &["--merge", "a.json", "--matrix", "smoke"],
         &["--merge", "a.json", "--threads", "2"],
+        &["--merge", "a.json", "--progress"], // nothing runs, no heartbeat
     ];
     for args in cases {
         let out = nn_lab(args, &dir);
@@ -218,6 +219,39 @@ fn worker_merge_and_shards_match_single_process_byte_for_byte() {
 
     // An incomplete shard set must refuse to merge, loudly.
     run_incomplete_merge_checks(&dir);
+
+    // --progress emits a per-cell heartbeat on stderr and nothing else
+    // changes: the artifacts stay byte-identical to the quiet run.
+    let progress = nn_lab(
+        &[
+            "--matrix",
+            "smoke",
+            "--progress",
+            "--out",
+            "progress.json",
+            "--csv",
+            "progress.csv",
+            "--threads",
+            "2",
+        ],
+        &dir,
+    );
+    ok(&progress, "--progress run");
+    let stderr = String::from_utf8_lossy(&progress.stderr);
+    assert!(
+        stderr.contains("worker") && stderr.contains("cells"),
+        "heartbeat lines must show per-worker cell counts: {stderr}"
+    );
+    assert_eq!(
+        read(&dir, "progress.json"),
+        read(&dir, "single.json"),
+        "--progress must not change the JSON artifact"
+    );
+    assert_eq!(
+        read(&dir, "progress.csv"),
+        read(&dir, "single.csv"),
+        "--progress must not change the CSV artifact"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -68,6 +68,7 @@ fn congested_story_spec() -> ExperimentSpec {
         stacks: vec![StackKind::Plain, StackKind::Neutralized],
         events: vec![EventTimelineSpec::Static],
         seeds: vec![1],
+        probes: false,
         tuning: CellTuning::fast(),
     }
 }
@@ -164,4 +165,66 @@ fn sharded_flaky_run_matches_the_single_process_golden() {
     let sharded = run_sharded_via_wire(&spec, 3);
     assert_golden("flaky_matrix.json", &sharded.to_json());
     assert_golden("flaky_matrix.csv", &sharded.to_csv());
+}
+
+/// The measurement-plane battery: the `detection` matrix — probes on,
+/// one discriminator per mechanism — must be byte-identical across
+/// thread counts, across the sharded wire, and against its committed
+/// golden. And the verdicts must tell the documented story: the
+/// classification-keyed mechanisms (content DPI, port block, injected
+/// jitter) show up in the differential-pair evidence, while tiered
+/// priority throttles both probe twins identically and evades naive
+/// differential probing.
+#[test]
+fn detection_matrix_matches_golden_and_tells_the_story() {
+    let spec = named_matrix("detection").expect("detection matrix exists");
+    let one = run_matrix_with_threads(&spec, 1);
+    let three = run_matrix_with_threads(&spec, 3);
+    assert_eq!(
+        one.to_json(),
+        three.to_json(),
+        "thread count must not leak into the report"
+    );
+    let sharded = run_sharded_via_wire(&spec, 3);
+    assert_eq!(
+        one.to_json(),
+        sharded.to_json(),
+        "the sharded wire must not leak into the report"
+    );
+    assert_golden("detection_matrix.json", &one.to_json());
+    assert_golden("detection_matrix.csv", &one.to_csv());
+
+    let verdicts = |adversary: &str| -> Vec<_> {
+        one.cells
+            .iter()
+            .filter(|c| c.adversary == adversary)
+            .map(|c| c.verdict.as_ref().expect("probed cells carry verdicts"))
+            .collect()
+    };
+    assert!(
+        verdicts("none").iter().all(|v| !v.detected),
+        "no false alarms"
+    );
+    assert!(verdicts("content-dpi")
+        .iter()
+        .all(|v| v.detected && v.truth == "positive"));
+    assert!(verdicts("port-block")
+        .iter()
+        .all(|v| v.detected && v.mechanism == "blocking"));
+    assert!(verdicts("delay-jitter")
+        .iter()
+        .all(|v| v.detected && v.mechanism == "delay-injection"));
+    assert!(
+        verdicts("tiered-priority")
+            .iter()
+            .any(|v| !v.detected && v.truth == "evades"),
+        "tiered priority must evade naive differential probing"
+    );
+    let d = one.detection_summary().expect("probed matrix is scored");
+    assert!(
+        d.precision >= 0.9 && d.recall >= 0.9,
+        "precision {} recall {}",
+        d.precision,
+        d.recall
+    );
 }

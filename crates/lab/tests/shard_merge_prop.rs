@@ -30,6 +30,7 @@ fn tiny_spec() -> ExperimentSpec {
         stacks: vec![StackKind::Plain],
         events: vec![EventTimelineSpec::Static],
         seeds: vec![1, 2],
+        probes: false,
         tuning: CellTuning {
             duration: Duration::from_millis(150),
             ..CellTuning::fast()
@@ -103,8 +104,10 @@ fn fake_cell(index: usize) -> MatrixCell {
             policy_drops: 0,
             counters: Vec::new(),
             events: 0,
+            probe: None,
         },
         relative: None,
+        verdict: None,
     }
 }
 

@@ -37,6 +37,7 @@ fn build(spec: &TopologySpec) -> (Simulator, BuiltTopology) {
         Box::new(SinkNode::new()),
         dyn_pool,
         &LinkProfileSpec::Clean,
+        None,
     );
     (sim, built)
 }

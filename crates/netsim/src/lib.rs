@@ -16,6 +16,9 @@
 //! * [`frame`] — pooled [`FrameBuf`] buffers: the data path recycles
 //!   frames through a per-simulator [`FramePool`] freelist instead of
 //!   touching the allocator per hop.
+//! * [`histogram`] — fixed-bucket log-scale [`Histogram`]s: mergeable,
+//!   deterministic, shard-invariant distributions behind the per-flow
+//!   delay/jitter/reorder/CE telemetry in [`stats`].
 //! * [`wheel`] — the hierarchical [`TimingWheel`] event queue: amortized
 //!   O(1) scheduling with the exact `(time, submission order)` contract
 //!   of the binary heap it replaced.
@@ -39,6 +42,7 @@
 
 pub mod events;
 pub mod frame;
+pub mod histogram;
 pub mod link;
 pub mod nodes;
 pub mod policy;
@@ -51,6 +55,7 @@ pub mod wheel;
 
 pub use events::{EventTimeline, NetEvent};
 pub use frame::{FrameBuf, FramePool};
+pub use histogram::Histogram;
 pub use link::{FaultConfig, LinkConfig, LinkProfile, LossModel, QueueKind, StageSpec};
 pub use nodes::{RouterNode, SinkNode};
 pub use policy::{Action, MatchExpr, PolicyEngine, Rule, Verdict};

@@ -10,8 +10,16 @@ use crate::frame::FrameBuf;
 use crate::policy::{PolicyEngine, Verdict};
 use crate::routing::RouteTable;
 use crate::sim::{Context, IfaceId, Node};
-use nn_packet::Ipv4Packet;
+use nn_packet::{build_udp_into, parse_udp, Ipv4Packet};
 use std::collections::HashMap;
+
+/// Magic prefix of a TTL time-exceeded reply payload (see
+/// [`RouterNode::enable_ttl_replies`]).
+pub const TTL_REPLY_MAGIC: &[u8; 4] = b"TTLX";
+
+/// How many bytes of the expired packet's UDP payload a TTL reply
+/// quotes back (enough for a probe header, like ICMP's quoted bytes).
+const TTL_REPLY_QUOTE: usize = 32;
 
 /// An IP router: TTL handling, policy evaluation, longest-prefix-match
 /// forwarding.
@@ -23,6 +31,9 @@ pub struct RouterNode {
     next_token: u64,
     /// Statistics prefix, usually the node name.
     stats_name: String,
+    /// Whether expired-TTL UDP packets earn a time-exceeded reply
+    /// (off by default; see [`RouterNode::enable_ttl_replies`]).
+    ttl_replies: bool,
 }
 
 impl RouterNode {
@@ -34,7 +45,45 @@ impl RouterNode {
             pending: HashMap::new(),
             next_token: 0,
             stats_name: stats_name.into(),
+            ttl_replies: false,
         }
+    }
+
+    /// Turns on TTL time-exceeded replies: when a UDP packet expires
+    /// here, the router answers the sender with a pooled reply carrying
+    /// [`TTL_REPLY_MAGIC`], this router's clock (the per-hop timestamp a
+    /// traceroute-style prober attributes path segments with), its stats
+    /// name, and the first quoted bytes of the expired payload. Off by
+    /// default so ordinary cells keep byte-identical event streams.
+    pub fn enable_ttl_replies(&mut self) {
+        self.ttl_replies = true;
+    }
+
+    /// Builds the time-exceeded reply for an expired UDP frame:
+    /// `TTLX ‖ now_ns(8 LE) ‖ name_len(1) ‖ name ‖ quote`. `None` when
+    /// the frame is not UDP or the reply cannot be built.
+    fn ttl_reply(
+        &self,
+        ctx: &mut Context,
+        frame: &FrameBuf,
+    ) -> Option<(FrameBuf, nn_packet::Ipv4Addr)> {
+        let parsed = parse_udp(&frame[..]).ok()?;
+        let quote = &parsed.payload[..parsed.payload.len().min(TTL_REPLY_QUOTE)];
+        let mut payload = Vec::with_capacity(4 + 8 + 1 + self.stats_name.len() + quote.len());
+        payload.extend_from_slice(TTL_REPLY_MAGIC);
+        payload.extend_from_slice(&ctx.now.as_nanos().to_le_bytes());
+        payload.push(self.stats_name.len().min(255) as u8);
+        payload.extend_from_slice(&self.stats_name.as_bytes()[..self.stats_name.len().min(255)]);
+        payload.extend_from_slice(quote);
+        let (src, dst) = (parsed.ip.src, parsed.ip.dst);
+        let (sport, dport) = (parsed.src_port, parsed.dst_port);
+        let reply = ctx.alloc_built(|buf| {
+            // Addressed back to the expired packet's sender; the reply's
+            // source is the original destination (routers here own no
+            // address), and the payload names the answering hop.
+            build_udp_into(buf, dst, src, 0, dport, sport, &payload)
+        })?;
+        Some((reply, src))
     }
 
     /// Installs the forwarding table (normally from
@@ -95,6 +144,11 @@ impl Node for RouterNode {
             let ttl = ip.ttl();
             if ttl <= 1 {
                 ctx.stats.count(&format!("{}.ttl_expired", self.stats_name));
+                if self.ttl_replies {
+                    if let Some((reply, to)) = self.ttl_reply(ctx, &frame) {
+                        self.forward_to(ctx, reply, to);
+                    }
+                }
                 ctx.recycle(frame);
                 return;
             }
@@ -235,6 +289,30 @@ mod tests {
         sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
         sim.run(100);
         assert_eq!(sim.node_ref::<SinkNode>(b).unwrap().rx_frames, 0);
+        assert_eq!(sim.stats().counter("r.ttl_expired"), 1);
+    }
+
+    /// With TTL replies enabled, an expired probe earns a time-exceeded
+    /// answer routed back to its sender, carrying the router's name and
+    /// clock — the hop-attribution primitive traceroute-style probing
+    /// builds on. Disabled routers (the default) stay silent.
+    #[test]
+    fn router_answers_expired_ttl_when_enabled() {
+        let (mut sim, a, r, b) = triangle();
+        sim.node_mut::<RouterNode>(r).unwrap().enable_ttl_replies();
+        let mut frame = build_udp(HOST_A, HOST_B, 0, 7001, 7002, b"probe payload").unwrap();
+        {
+            let mut ip = Ipv4Packet::new_unchecked(&mut frame[..]);
+            ip.set_ttl(1);
+        }
+        sim.inject(crate::time::SimTime::ZERO, r, 0, frame);
+        sim.run(100);
+        // The expired packet never reaches b; the reply reaches a,
+        // sourced from the original destination address.
+        assert_eq!(sim.node_ref::<SinkNode>(b).unwrap().rx_frames, 0);
+        let sink = sim.node_ref::<SinkNode>(a).unwrap();
+        assert_eq!(sink.rx_frames, 1);
+        assert_eq!(sink.from_source(HOST_B.to_u32()), 1);
         assert_eq!(sim.stats().counter("r.ttl_expired"), 1);
     }
 

@@ -4,6 +4,7 @@
 //! scalar series (latencies, inter-arrival jitter), and per-flow
 //! accounting. Nodes write through [`crate::sim::Context::stats`].
 
+use crate::histogram::Histogram;
 use crate::time::SimTime;
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -54,6 +55,22 @@ pub struct FlowStats {
     /// append-only, so a length mismatch is the (re)build signal — one
     /// sort per batch of arrivals instead of one per percentile call.
     sorted_delays: RefCell<Vec<f64>>,
+    /// One-way delay distribution, nanoseconds.
+    pub delay_hist: Histogram,
+    /// Distribution of |delay(n) − delay(n−1)| between consecutive
+    /// deliveries, nanoseconds — the jitter each arrival contributed.
+    pub jitter_hist: Histogram,
+    /// Send-order regression gaps, nanoseconds: for each delivery whose
+    /// send time precedes an already-delivered packet's, how far behind
+    /// the newest seen send time it arrived. Empty on in-order paths.
+    pub reorder_hist: Histogram,
+    /// Distribution of delivered-packet gaps between CE marks (how many
+    /// deliveries separated consecutive congestion signals).
+    pub ce_gap_hist: Histogram,
+    /// Newest send timestamp among delivered packets (reorder tracking).
+    max_sent: Option<SimTime>,
+    /// `rx_packets` as of the previous CE mark (gap tracking).
+    last_ce_rx: Option<u64>,
 }
 
 impl FlowStats {
@@ -194,7 +211,13 @@ impl Stats {
 
     /// Records a delivered packet that arrived CE-marked on a flow.
     pub fn flow_ce(&mut self, name: &str) {
-        self.flow_mut(name).ce_marks += 1;
+        let f = self.flow_mut(name);
+        f.ce_marks += 1;
+        // Distance (in delivered packets) from the previous mark: a
+        // burst of marks records small gaps, sparse marking large ones.
+        let gap = f.rx_packets - f.last_ce_rx.unwrap_or(0);
+        f.ce_gap_hist.record(gap);
+        f.last_ce_rx = Some(f.rx_packets);
     }
 
     /// Records a packet delivery on a flow.
@@ -202,7 +225,18 @@ impl Stats {
         let f = self.flow_mut(name);
         f.rx_packets += 1;
         f.rx_bytes += bytes as u64;
-        f.delays.push((now - sent_at).as_secs_f64());
+        let delay = (now - sent_at).as_secs_f64();
+        if let Some(&prev) = f.delays.last() {
+            f.jitter_hist.record_secs((delay - prev).abs());
+        }
+        f.delays.push(delay);
+        f.delay_hist.record_secs(delay);
+        match f.max_sent {
+            // Sent before an already-delivered packet: the path (or a
+            // policy detour) reordered it. Record how far behind.
+            Some(max) if sent_at < max => f.reorder_hist.record_secs((max - sent_at).as_secs_f64()),
+            _ => f.max_sent = Some(sent_at),
+        }
         if f.first_rx.is_none() {
             f.first_rx = Some(now);
         }
@@ -312,6 +346,73 @@ mod tests {
         // Repeated queries on an unchanged flow reuse the cache and stay
         // consistent.
         assert_eq!(f.delay_percentile(100.0), 0.090);
+    }
+
+    /// Arrival batch after batch, with p50/p95/p99 queried between
+    /// batches: every reported percentile must reflect all samples
+    /// delivered so far, never a stale cache from an earlier batch.
+    #[test]
+    fn percentile_cache_invalidates_across_arrival_batches() {
+        let mut s = Stats::new();
+        let k = "f";
+        // Batch 1: 10 samples, 10..100 ms.
+        for i in 1..=10u64 {
+            s.flow_rx(k, 10, SimTime::ZERO, SimTime::from_millis(10 * i));
+        }
+        {
+            let f = s.flow(k).unwrap();
+            // Nearest rank over 10 samples: round(0.5·9) = 5 → 60 ms.
+            assert_eq!(f.delay_percentile(50.0), 0.060);
+            assert_eq!(f.delay_percentile(95.0), 0.100);
+            assert_eq!(f.delay_percentile(99.0), 0.100);
+        }
+        // Batch 2: one outlier far above the old maximum. The cached
+        // sort is now stale by exactly one sample — the tail percentiles
+        // must move.
+        s.flow_rx(k, 10, SimTime::ZERO, SimTime::from_millis(900));
+        {
+            let f = s.flow(k).unwrap();
+            assert_eq!(f.delay_percentile(99.0), 0.900);
+            assert_eq!(f.delay_percentile(95.0), 0.900);
+            assert_eq!(f.delay_percentile(50.0), 0.060);
+        }
+        // Batch 3: a burst of fast deliveries drags the median down.
+        for _ in 0..20 {
+            s.flow_rx(k, 10, SimTime::ZERO, SimTime::from_millis(1));
+        }
+        let f = s.flow(k).unwrap();
+        assert_eq!(f.delay_percentile(50.0), 0.001);
+        assert_eq!(f.delay_percentile(99.0), 0.900);
+        // The histogram's p99 upper bound brackets the exact percentile.
+        let (lo, hi) = f.delay_hist.quantile_bounds(0.99);
+        let exact_ns = (f.delay_percentile(99.0) * 1e9).round() as u64;
+        assert!(lo <= exact_ns && exact_ns <= hi);
+    }
+
+    /// The per-flow histograms fold in delay, jitter, reorder-gap and
+    /// CE-gap distributions as deliveries arrive.
+    #[test]
+    fn flow_histograms_track_deliveries() {
+        let mut s = Stats::new();
+        let k = "f";
+        // Two in-order deliveries 10ms apart in delay.
+        s.flow_rx(k, 10, SimTime::ZERO, SimTime::from_millis(20));
+        s.flow_rx(k, 10, SimTime::from_millis(5), SimTime::from_millis(35));
+        // A reordered delivery: sent before the previous packet.
+        s.flow_rx(k, 10, SimTime::from_millis(1), SimTime::from_millis(40));
+        s.flow_ce(k);
+        s.flow_rx(k, 10, SimTime::from_millis(6), SimTime::from_millis(50));
+        s.flow_ce(k);
+        let f = s.flow(k).unwrap();
+        assert_eq!(f.delay_hist.total(), 4);
+        assert_eq!(f.jitter_hist.total(), 3);
+        // One send-order regression of 4 ms (sent 1ms vs max seen 5ms).
+        assert_eq!(f.reorder_hist.total(), 1);
+        let (lo, hi) = f.reorder_hist.quantile_bounds(1.0);
+        assert!(lo <= 4_000_000 && 4_000_000 <= hi);
+        // CE gaps: first mark after 3 deliveries, second 1 delivery later.
+        assert_eq!(f.ce_gap_hist.total(), 2);
+        assert_eq!(f.ce_marks, 2);
     }
 
     #[test]
