@@ -95,6 +95,7 @@ fn main() {
         let throttled = by_name("dpi-throttled-plain");
         let neutralized = by_name("dpi-throttled-neutralized");
         let flaky = by_name("flaky-isp");
+        let metro = by_name("metro");
         let pct = |v: f64| {
             if baseline > 0.0 {
                 format!("({:.0}% of baseline)", 100.0 * v / baseline)
@@ -118,6 +119,11 @@ fn main() {
             "  flaky ISP (failover)  {:>9.1} kbit/s {}",
             flaky / 1e3,
             pct(flaky)
+        );
+        println!(
+            "  metro population DPI  {:>9.1} kbit/s {}",
+            metro / 1e3,
+            pct(metro)
         );
     }
 }

@@ -24,6 +24,12 @@
 //!   partition that severs the primary provider's path mid-run; the
 //!   neutralized source detects the silent provider and steers to the
 //!   fallback neutralizer, so goodput survives the outage.
+//! * [`Scenario::Metro`] — the population story at metro scale: the
+//!   hub-and-spoke metro topology carries a flyweight population (a
+//!   marked VoIP cohort plus a fluid unmarked bulk cohort) through the
+//!   same DPI ISP; content DPI collapses the marked cohort's goodput
+//!   while the unmarked cohort rides through untouched, and the report
+//!   grows one flow row per cohort.
 //!
 //! Each scenario maps onto exactly one [`nn_lab::CellSpec`] — the legacy
 //! chain topology, the VoIP workload, the content-DPI adversary preset
@@ -130,16 +136,24 @@ pub enum Scenario {
     /// plain-vs-neutralized differential pairs whose delivery gap
     /// catches the content throttle red-handed from the edge.
     Detect,
+    /// The population story: the metro hub-and-spoke topology with its
+    /// default flyweight population (a marked VoIP cohort and a fluid
+    /// unmarked bulk cohort) behind the same DPI ISP. Content DPI
+    /// collapses the marked cohort's goodput while the unmarked cohort
+    /// is untouched; the report carries one flow row per cohort next to
+    /// the workload flow.
+    Metro,
 }
 
 impl Scenario {
     /// All scenarios in canonical run order.
-    pub const ALL: [Scenario; 5] = [
+    pub const ALL: [Scenario; 6] = [
         Scenario::Baseline,
         Scenario::DpiThrottledPlain,
         Scenario::DpiThrottledNeutralized,
         Scenario::FlakyIsp,
         Scenario::Detect,
+        Scenario::Metro,
     ];
 
     /// Stable scenario name (CLI argument and report header).
@@ -150,6 +164,7 @@ impl Scenario {
             Scenario::DpiThrottledNeutralized => "dpi-throttled-neutralized",
             Scenario::FlakyIsp => "flaky-isp",
             Scenario::Detect => "detect",
+            Scenario::Metro => "metro",
         }
     }
 
@@ -172,10 +187,10 @@ impl Scenario {
     /// The lab cell this scenario is a preset for.
     pub fn cell_spec(self, cfg: &ScenarioConfig) -> CellSpec {
         CellSpec {
-            topology: if self == Scenario::FlakyIsp {
-                TopologySpec::Multihomed
-            } else {
-                TopologySpec::chain()
+            topology: match self {
+                Scenario::FlakyIsp => TopologySpec::Multihomed,
+                Scenario::Metro => TopologySpec::metro_default(),
+                _ => TopologySpec::chain(),
             },
             // The legacy scenarios ran on clean wires; the matrix's
             // `link` axis is where impaired variants live.
@@ -441,6 +456,71 @@ mod tests {
         // The other presets stay probe-free.
         let base = run_scenario(Scenario::Baseline, &cfg());
         assert!(base.probe.is_none());
+    }
+
+    #[test]
+    fn metro_dpi_collapses_the_population_and_the_neutralized_cohort_recovers() {
+        let cfg = cfg();
+        // Baseline twin: the same metro cell with the DPI adversary
+        // removed.
+        let mut base_spec = Scenario::Metro.cell_spec(&cfg);
+        base_spec.adversary = AdversarySpec::None;
+        let base = run_cell(&base_spec, &cfg.tuning());
+        let dpi = run_scenario(Scenario::Metro, &cfg);
+
+        // The report carries the workload flow first, then one row per
+        // population cohort.
+        let names: Vec<&str> = dpi.flows.iter().map(|f| f.flow.as_str()).collect();
+        assert_eq!(names, ["voip", "pop0-voip", "pop1-neutral"]);
+        let goodput = |flows: &[FlowReport], name: &str| -> f64 {
+            flows
+                .iter()
+                .find(|f| f.flow == name)
+                .expect("cohort row")
+                .goodput_bps
+        };
+
+        // Content DPI collapses the marked population cohort...
+        let voip_base = goodput(&base.flows, "pop0-voip");
+        let voip_dpi = goodput(&dpi.flows, "pop0-voip");
+        assert!(
+            voip_dpi < 0.5 * voip_base,
+            "DPI must collapse the marked cohort: {voip_dpi} vs {voip_base}"
+        );
+        // ...while the unmarked cohort rides through untouched.
+        let neutral_base = goodput(&base.flows, "pop1-neutral");
+        let neutral_dpi = goodput(&dpi.flows, "pop1-neutral");
+        assert!(
+            neutral_dpi > 0.9 * neutral_base,
+            "the unmarked cohort must ride through DPI: {neutral_dpi} vs {neutral_base}"
+        );
+
+        // And the §3.2 answer still holds at metro scale: switching the
+        // workload onto the neutralized stack recovers its goodput from
+        // the same DPI policy that crushed the plain run.
+        let mut neut_spec = Scenario::Metro.cell_spec(&cfg);
+        neut_spec.stack = StackKind::Neutralized;
+        let neut = run_cell(&neut_spec, &cfg.tuning());
+        let workload_base = goodput(&base.flows, "voip");
+        let workload_dpi = goodput(&dpi.flows, "voip");
+        let workload_neut = goodput(&neut.flows, "voip");
+        assert!(
+            workload_dpi < 0.5 * workload_base,
+            "DPI must bite the plain workload: {workload_dpi} vs {workload_base}"
+        );
+        assert!(
+            workload_neut > 0.9 * workload_base,
+            "the neutralized workload must recover: {workload_neut} vs {workload_base}"
+        );
+
+        // The population plane surfaces in the scenario counters.
+        assert!(
+            dpi.counters
+                .iter()
+                .any(|(n, v)| n == "population.endpoints" && *v >= 1_000),
+            "population counters missing: {:?}",
+            dpi.counters
+        );
     }
 
     #[test]

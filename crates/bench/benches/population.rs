@@ -1,0 +1,6 @@
+//! Shell target for [`nn_bench::suites::population`]; the suite body
+//! lives in the library so plain `cargo build` compiles it.
+
+fn main() {
+    nn_bench::suites::population();
+}

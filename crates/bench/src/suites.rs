@@ -23,7 +23,7 @@ use std::time::Instant;
 /// Name, one-line description and entry point of every suite — the
 /// single source of truth the `experiments` index prints. Keep in sync
 /// with the `[[bench]]` shell targets in `Cargo.toml`.
-pub const SUITES: [(&str, &str, fn()); 11] = [
+pub const SUITES: [(&str, &str, fn()); 12] = [
     (
         "raw_crypto",
         "AES block, CMAC, CTR keystream, Ks derivation",
@@ -78,6 +78,11 @@ pub const SUITES: [(&str, &str, fn()); 11] = [
         "link_pipeline",
         "netsim link-impairment pipeline per-frame cost",
         link_pipeline,
+    ),
+    (
+        "population",
+        "flyweight-cohort per-endpoint cost, packet vs fluid",
+        population,
     ),
 ];
 
@@ -554,4 +559,152 @@ pub fn link_pipeline() {
             black_box(run(black_box(profile)));
         });
     }
+}
+
+/// Population-engine costs: one cohort of N flyweight endpoints driven
+/// for a 100 ms window (every endpoint emits about one frame), in
+/// packet-accurate and fluid mode, at 1k / 100k / 1M endpoints. Each
+/// scale reports the whole-sim cost plus a derived `ns_per_endpoint`
+/// line — the per-endpoint price the acceptance gate pins. The closer
+/// is the acceptance check itself: a 1M-endpoint `metro` cell (fluid
+/// bulk cohort under the full lab pipeline) must complete in seconds.
+pub fn population() {
+    header("population");
+    use nn_netsim::{CohortModel, LinkConfig, PopulationNode, PopulationSinkNode, Simulator};
+    use std::time::Duration;
+
+    let mut pool = nn_netsim::FramePool::new();
+    let mut run = |endpoints: u64, fluid: bool| -> u64 {
+        let model = CohortModel {
+            name: "c".to_string(),
+            endpoints,
+            // One frame per endpoint inside the 100 ms window.
+            interval_ns: 100_000_000,
+            frame_bytes: 120,
+            size_spread: 0,
+            arrival_jitter: false,
+            marker: None,
+            fluid,
+        };
+        let mut sim = Simulator::new(1);
+        sim.install_pool(std::mem::take(&mut pool));
+        let pop = sim.add_node(
+            "pop",
+            Box::new(PopulationNode::new(
+                Ipv4Addr::new(10, 0, 1, 1),
+                Ipv4Addr::new(10, 0, 2, 1),
+                16384,
+                16384,
+                0,
+                vec![model.clone()],
+            )),
+        );
+        let sink = sim.add_node("sink", Box::new(PopulationSinkNode::for_models(&[model])));
+        sim.connect_sym(
+            pop,
+            sink,
+            LinkConfig::new(10_000_000_000, Duration::from_micros(100)),
+        );
+        sim.run_until(SimTime::from_millis(100));
+        let modeled = sim
+            .node_ref::<PopulationSinkNode>(sink)
+            .unwrap()
+            .cohort("c")
+            .unwrap()
+            .rx_packets;
+        pool = sim.take_pool();
+        modeled
+    };
+
+    for (label, endpoints, reps) in [
+        ("1k", 1_000u64, 50u64),
+        ("100k", 100_000, 5),
+        ("1m", 1_000_000, 2),
+    ] {
+        for (mode, fluid) in [("packet", false), ("fluid", true)] {
+            let r = bench(
+                &format!("{mode}_{label}_endpoints_100ms"),
+                iters(reps),
+                || {
+                    black_box(run(black_box(endpoints), fluid));
+                },
+            );
+            report_result(&BenchResult {
+                name: format!("{mode}_{label}_ns_per_endpoint"),
+                iters: r.iters,
+                ns_per_iter: r.ns_per_iter / endpoints as f64,
+            });
+        }
+    }
+
+    // The acceptance closer: a full `metro` lab cell whose fluid bulk
+    // cohort models one million endpoints — topology build, adversary,
+    // host stacks, population plane, per-cohort harvest. Must finish in
+    // seconds, not minutes.
+    use nn_lab::population::{CohortDef, CohortKind, PopulationSpec};
+    use nn_lab::{
+        run_cell, AdversarySpec, CellSpec, CellTuning, EventTimelineSpec, LinkProfileSpec,
+        StackKind, TopologySpec, WorkloadSpec,
+    };
+    let spec = CellSpec {
+        topology: TopologySpec::Metro {
+            spokes: 4,
+            population: PopulationSpec {
+                cohorts: vec![
+                    CohortDef {
+                        kind: CohortKind::Voip,
+                        endpoints: 16,
+                        interval_us: 20_000,
+                        frame_bytes: 160,
+                        size_spread: 0,
+                        jitter: false,
+                        fluid: false,
+                    },
+                    CohortDef {
+                        kind: CohortKind::Neutral,
+                        endpoints: 1_000_000,
+                        interval_us: 200_000,
+                        frame_bytes: 400,
+                        size_spread: 0,
+                        jitter: false,
+                        fluid: true,
+                    },
+                ],
+            },
+        },
+        link: LinkProfileSpec::Clean,
+        workload: WorkloadSpec::voip_default(),
+        adversary: AdversarySpec::content_dpi_default(),
+        stack: StackKind::Plain,
+        events: EventTimelineSpec::Static,
+        probes: false,
+        seed: 1,
+    };
+    let tuning = CellTuning::fast();
+    let reps = iters(2);
+    let start = Instant::now();
+    for _ in 0..reps {
+        let report = run_cell(black_box(&spec), &tuning);
+        let bulk = report
+            .flows
+            .iter()
+            .find(|f| f.flow == "pop1-neutral")
+            .expect("bulk cohort row");
+        assert!(
+            bulk.rx_packets > 1_000_000,
+            "the fluid cohort must model millions of frames: {}",
+            bulk.rx_packets
+        );
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed.as_secs_f64() / (reps as f64) < 60.0,
+        "a 1M-endpoint metro cell must complete in seconds, took {:?} for {reps} reps",
+        elapsed
+    );
+    report_result(&BenchResult {
+        name: "metro_cell_1m_endpoints".into(),
+        iters: reps,
+        ns_per_iter: elapsed.as_nanos() as f64 / reps as f64,
+    });
 }

@@ -244,7 +244,9 @@ pub fn counters_from_json(v: &Json) -> Result<Vec<(String, u64)>, String> {
 pub struct CellReport {
     /// Seed the run used.
     pub seed: u64,
-    /// Per-flow accounting (sorted by flow name).
+    /// Per-flow accounting: the workload flow first, then one row per
+    /// population cohort (sorted by cohort flow name) when the
+    /// topology carries a population plane.
     pub flows: Vec<CellFlow>,
     /// Echo replies that made it back to the source.
     pub replies: u64,
@@ -524,9 +526,36 @@ pub fn run_cell_with_pool(
             counters.push((name.to_string(), v));
         }
     }
+    // The population plane's frame economy, when the cell carries one:
+    // wire frames emitted and terminated (fluid cohorts batch many
+    // modeled frames per wire frame) plus the modeled endpoint count.
+    if let Some((pop_node, pop_sink)) = built.population {
+        let pop = sim
+            .node_ref::<nn_netsim::PopulationNode>(pop_node)
+            .expect("population node");
+        let sink = sim
+            .node_ref::<nn_netsim::PopulationSinkNode>(pop_sink)
+            .expect("population sink");
+        for (name, v) in [
+            ("population.wire_tx", pop.wire_frames()),
+            (
+                "population.wire_rx",
+                sink.cohorts().iter().map(|c| c.wire_frames).sum(),
+            ),
+            (
+                "population.endpoints",
+                pop.tx_stats().iter().map(|t| t.endpoints).sum(),
+            ),
+            ("population.parse_errors", sink.parse_errors),
+        ] {
+            if v > 0 {
+                counters.push((name.to_string(), v));
+            }
+        }
+    }
     counters.sort();
 
-    let flows = match sim.stats().flow(flow) {
+    let mut flows = match sim.stats().flow(flow) {
         Some(fs) => vec![CellFlow {
             flow: flow.to_string(),
             tx_packets: fs.tx_packets,
@@ -547,6 +576,53 @@ pub fn run_cell_with_pool(
         }],
         None => Vec::new(),
     };
+
+    // Per-cohort aggregate rows ride after the workload flow (which
+    // stays first: CSV summaries key off the first row). Aggregates
+    // keep no per-packet delay list, so every percentile column here is
+    // the histogram upper bound at that quantile.
+    if let Some((pop_node, pop_sink)) = built.population {
+        let pop = sim
+            .node_ref::<nn_netsim::PopulationNode>(pop_node)
+            .expect("population node");
+        let sink = sim
+            .node_ref::<nn_netsim::PopulationSinkNode>(pop_sink)
+            .expect("population sink");
+        let hist_ms = |agg: &nn_netsim::CohortAggregate, q: f64| {
+            if agg.delay_hist.is_empty() {
+                0.0
+            } else {
+                agg.delay_hist.quantile_upper(q) as f64 / 1e6
+            }
+        };
+        let mut cohort_flows: Vec<CellFlow> = pop
+            .tx_stats()
+            .iter()
+            .map(|tx| {
+                let agg = sink.cohort(&tx.name);
+                CellFlow {
+                    flow: tx.name.clone(),
+                    tx_packets: tx.tx_packets,
+                    rx_packets: agg.map_or(0, |a| a.rx_packets),
+                    delivery_ratio: if tx.tx_packets == 0 {
+                        1.0
+                    } else {
+                        agg.map_or(0, |a| a.rx_packets) as f64 / tx.tx_packets as f64
+                    },
+                    goodput_bps: agg.map_or(0.0, |a| a.goodput_bps()),
+                    mean_delay_ms: agg.map_or(0.0, |a| a.mean_delay() * 1_000.0),
+                    p50_delay_ms: agg.map_or(0.0, |a| hist_ms(a, 0.50)),
+                    p95_delay_ms: agg.map_or(0.0, |a| hist_ms(a, 0.95)),
+                    p99_delay_ms: agg.map_or(0.0, |a| hist_ms(a, 0.99)),
+                    hist_p99_delay_ms: agg.map_or(0.0, |a| hist_ms(a, 0.99)),
+                    jitter_ms: agg.map_or(0.0, |a| a.jitter() * 1_000.0),
+                    ce_marks: agg.map_or(0, |a| a.ce_marks),
+                }
+            })
+            .collect();
+        cohort_flows.sort_by(|a, b| a.flow.cmp(&b.flow));
+        flows.extend(cohort_flows);
+    }
 
     // Probe evidence comes off the prober node itself — never out of
     // flow stats, which the measurement plane leaves untouched.

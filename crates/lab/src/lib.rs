@@ -29,6 +29,11 @@
 //!   hop-by-hop TTL sweeps, plain-vs-neutralized differential pairs and
 //!   size/reorder trains, folded into per-cell [`probe::ProbeSummary`]
 //!   evidence for the discrimination-inference pass.
+//! * [`population`] — the flyweight-population axis:
+//!   [`population::PopulationSpec`] cohorts (seeded statistical traffic
+//!   classes, packet-accurate or fluid) lowered onto
+//!   [`nn_netsim::PopulationNode`] by the `metro` topology, with
+//!   per-cohort aggregate rows in every report.
 //! * [`cell`] — one deterministic simulation of one axis combination.
 //! * [`matrix`] — the spec, hashed per-cell seeds, named matrices, and
 //!   JSON/CSV reports.
@@ -62,6 +67,7 @@ pub mod json;
 pub mod link;
 pub mod matrix;
 pub mod plan;
+pub mod population;
 pub mod probe;
 pub mod shard;
 pub mod topology;
@@ -85,6 +91,7 @@ pub use matrix::{
     ExperimentSpec, MatrixCell, MatrixReport, RelativeMetrics, NAMED_MATRICES,
 };
 pub use plan::{CellAssignment, CellIter, ExecutionPlan};
+pub use population::{CohortApp, CohortDef, CohortKind, PopulationSpec};
 pub use probe::{HopReport, ProbeNode, ProbeResponderNode, ProbeSummary};
 pub use shard::{merge_shards, MergeError, MergedMatrix, ShardReport};
 pub use topology::{TopologySpec, ANYCAST_ADDR, DST_ADDR, PROBER_ADDR, PROBE_SINK_ADDR, SRC_ADDR};

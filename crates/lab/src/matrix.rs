@@ -442,10 +442,14 @@ impl MatrixReport {
         .render()
     }
 
-    /// Renders one CSV row per cell (first flow's metrics; relative and
-    /// verdict columns empty when the cell has no baseline / no probes;
-    /// `precision`/`recall` are the matrix-level scores repeated on
-    /// every verdict-carrying row so a flat-file consumer keeps them).
+    /// Renders CSV rows: one per cell keyed to its first (workload)
+    /// flow, plus one row per extra flow — population cohort rows —
+    /// with the cell columns repeated and the relative/verdict columns
+    /// empty (those are workload-flow context). Relative and verdict
+    /// columns are also empty when the cell has no baseline / no
+    /// probes; `precision`/`recall` are the matrix-level scores
+    /// repeated on every verdict-carrying row so a flat-file consumer
+    /// keeps them.
     pub fn to_csv(&self) -> String {
         let detection = self.detection_summary();
         let mut out = String::from(
@@ -457,24 +461,6 @@ impl MatrixReport {
              verdict,mechanism,confidence,truth,precision,recall\n",
         );
         for c in &self.cells {
-            let (flow, tx, rx, delivery, goodput, mean_d, p50, p95, p99, hp99, jitter, ce) =
-                match c.report.flows.first() {
-                    Some(f) => (
-                        f.flow.as_str(),
-                        f.tx_packets,
-                        f.rx_packets,
-                        f.delivery_ratio,
-                        f.goodput_bps,
-                        f.mean_delay_ms,
-                        f.p50_delay_ms,
-                        f.p95_delay_ms,
-                        f.p99_delay_ms,
-                        f.hist_p99_delay_ms,
-                        f.jitter_ms,
-                        f.ce_marks,
-                    ),
-                    None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0),
-                };
             let rel = match &c.relative {
                 Some(r) => format!(
                     "{},{},{}",
@@ -494,36 +480,60 @@ impl MatrixReport {
                 ),
                 _ => ",,,,,".to_string(),
             };
-            out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
-                c.index,
-                c.topology,
-                c.link,
-                c.workload,
-                c.adversary,
-                c.stack,
-                c.events,
-                c.seed_axis,
-                c.sim_seed,
-                flow,
-                tx,
-                rx,
-                delivery,
-                goodput,
-                mean_d,
-                p50,
-                p95,
-                p99,
-                hp99,
-                jitter,
-                ce,
-                c.report.replies,
-                c.report.verified_return_blocks,
-                c.report.policy_drops,
-                c.report.events,
-                rel,
-                verdict,
-            ));
+            let mut push_row = |f: Option<&CellFlow>, rel: &str, verdict: &str| {
+                let (flow, tx, rx, delivery, goodput, mean_d, p50, p95, p99, hp99, jitter, ce) =
+                    match f {
+                        Some(f) => (
+                            f.flow.as_str(),
+                            f.tx_packets,
+                            f.rx_packets,
+                            f.delivery_ratio,
+                            f.goodput_bps,
+                            f.mean_delay_ms,
+                            f.p50_delay_ms,
+                            f.p95_delay_ms,
+                            f.p99_delay_ms,
+                            f.hist_p99_delay_ms,
+                            f.jitter_ms,
+                            f.ce_marks,
+                        ),
+                        None => ("", 0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0),
+                    };
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                    c.index,
+                    c.topology,
+                    c.link,
+                    c.workload,
+                    c.adversary,
+                    c.stack,
+                    c.events,
+                    c.seed_axis,
+                    c.sim_seed,
+                    flow,
+                    tx,
+                    rx,
+                    delivery,
+                    goodput,
+                    mean_d,
+                    p50,
+                    p95,
+                    p99,
+                    hp99,
+                    jitter,
+                    ce,
+                    c.report.replies,
+                    c.report.verified_return_blocks,
+                    c.report.policy_drops,
+                    c.report.events,
+                    rel,
+                    verdict,
+                ));
+            };
+            push_row(c.report.flows.first(), &rel, &verdict);
+            for f in c.report.flows.iter().skip(1) {
+                push_row(Some(f), ",,", ",,,,,");
+            }
         }
         out
     }
@@ -669,19 +679,42 @@ pub fn named_matrix(name: &str) -> Option<ExperimentSpec> {
             probes: true,
             tuning: CellTuning::fast(),
         },
+        // The population matrix: the metro eyeball star carries a
+        // flyweight population (a DPI-classifiable VoIP cohort next to a
+        // large fluid neutralized cohort) into the discriminator
+        // bottleneck. Content DPI must collapse the marked cohort while
+        // the neutral one rides through; tiered priority bites both —
+        // 12 cells, each with per-cohort flow rows.
+        "metro" => ExperimentSpec {
+            name: "metro".to_string(),
+            topologies: vec![TopologySpec::metro_default()],
+            links: vec![LinkProfileSpec::Clean, LinkProfileSpec::ecn_red_default()],
+            workloads: vec![WorkloadSpec::voip_default()],
+            adversaries: vec![
+                AdversarySpec::None,
+                AdversarySpec::content_dpi_default(),
+                AdversarySpec::tiered_default(),
+            ],
+            stacks: vec![StackKind::Plain, StackKind::Neutralized],
+            events: vec![EventTimelineSpec::Static],
+            seeds: vec![1],
+            probes: false,
+            tuning: CellTuning::fast(),
+        },
         _ => return None,
     };
     Some(spec)
 }
 
 /// Names [`named_matrix`] accepts, in documentation order.
-pub const NAMED_MATRICES: [&str; 6] = [
+pub const NAMED_MATRICES: [&str; 7] = [
     "smoke",
     "default",
     "congested",
     "full",
     "flaky",
     "detection",
+    "metro",
 ];
 
 #[cfg(test)]

@@ -29,14 +29,10 @@
 
 use crate::hosts::PlainSourceNode;
 use crate::link::LinkProfileSpec;
-use crate::workload::marked_payload;
-use nn_core::app::{AppCommand, AppSource};
+use crate::population::PopulationSpec;
 use nn_core::neutralizer::NeutralizerNode;
-use nn_netsim::{
-    compute_routes, IfaceId, LinkConfig, Node, NodeId, RouterNode, SimTime, Simulator,
-};
+use nn_netsim::{compute_routes, IfaceId, LinkConfig, Node, NodeId, RouterNode, Simulator};
 use nn_packet::{Ipv4Addr, Ipv4Cidr};
-use rand::rngs::StdRng;
 use std::time::Duration;
 
 /// The source host's address (outside the neutral domain).
@@ -62,11 +58,25 @@ pub const PROBER_ADDR: Ipv4Addr = Ipv4Addr::new(203, 0, 114, 10);
 /// address-keyed policies against the app never touch probe traffic.
 pub const PROBE_SINK_ADDR: Ipv4Addr = Ipv4Addr::new(10, 9, 0, 99);
 
+/// The population multiplexer's address in the `metro` shape.
+pub const POP_ADDR: Ipv4Addr = Ipv4Addr::new(10, 230, 0, 1);
+/// The population sink's address inside the neutral domain, distinct
+/// from the application destination's `10.7.0.0/16` so address-keyed
+/// policies against the app never touch population traffic.
+pub const POP_SINK_ADDR: Ipv4Addr = Ipv4Addr::new(10, 240, 0, 99);
+
 /// Bandwidth of every non-bottleneck link (10 Mbit/s, the legacy value).
 const LINK_BPS: u64 = 10_000_000;
 
 fn edge_link() -> LinkConfig {
     LinkConfig::new(LINK_BPS, Duration::from_millis(2))
+}
+
+/// The population's fat access links (10 Gbit/s): a metro cell's
+/// million modeled endpoints must contend at the hub's uplink — the
+/// discriminator bottleneck — not on their own aggregation edge.
+fn pop_edge_link() -> LinkConfig {
+    LinkConfig::new(10_000_000_000, Duration::from_millis(2))
 }
 
 fn backbone_link() -> LinkConfig {
@@ -106,6 +116,21 @@ pub enum TopologySpec {
         /// pushing a bulk schedule over the hub's uplink into the
         /// neutral domain (toward a dedicated background sink).
         background_flows: usize,
+    },
+    /// The population-scale eyeball star: the [`TopologySpec::Star`]
+    /// skeleton (hub discriminates, hub→neut uplink carries the link
+    /// axis) plus a [`PopulationSpec`] of flyweight cohorts multiplexed
+    /// behind one [`nn_netsim::PopulationNode`] on a fat access link,
+    /// terminating at a [`nn_netsim::PopulationSinkNode`] inside the
+    /// neutral domain. Population traffic crosses the discriminator and
+    /// the bottleneck exactly like foreground flows, so content DPI,
+    /// port blocks and tiered priority act on whole cohorts.
+    Metro {
+        /// Total spokes including the source and the neutral-domain
+        /// branch (≥ 2).
+        spokes: usize,
+        /// The flyweight cohorts feeding the discriminator bottleneck.
+        population: PopulationSpec,
     },
     /// A path of autonomous systems, each an ingress/egress router pair
     /// with fast intra-AS and slow inter-AS links. The egress of
@@ -181,6 +206,10 @@ pub struct BuiltTopology {
     pub bottleneck: (NodeId, IfaceId),
     /// The cross-traffic source nodes (empty without background flows).
     pub background: Vec<NodeId>,
+    /// The population plane, when the shape carries one: the
+    /// multiplexing [`nn_netsim::PopulationNode`] and its
+    /// [`nn_netsim::PopulationSinkNode`].
+    pub population: Option<(NodeId, NodeId)>,
     /// The measurement-plane prober, when a [`ProbePlane`] was attached.
     pub prober: Option<NodeId>,
     /// The measurement-plane responder, when a [`ProbePlane`] was
@@ -226,6 +255,16 @@ impl TopologySpec {
         }
     }
 
+    /// The default metro cell: a four-spoke eyeball star carrying the
+    /// default population (a packet-accurate VoIP cohort and a fluid
+    /// neutralized bulk cohort).
+    pub fn metro_default() -> Self {
+        TopologySpec::Metro {
+            spokes: 4,
+            population: PopulationSpec::metro_default(),
+        }
+    }
+
     /// A three-AS path discriminating in the middle AS.
     pub fn multi_as_default() -> Self {
         TopologySpec::MultiAs {
@@ -257,6 +296,10 @@ impl TopologySpec {
                 spokes,
                 background_flows,
             } => format!("star{spokes}{}", bg_suffix(background_flows)),
+            TopologySpec::Metro {
+                spokes,
+                ref population,
+            } => format!("metro{spokes}-{}", population.token()),
             TopologySpec::MultiAs { as_count, disc_as } => {
                 format!("multi-as{as_count}-d{disc_as}")
             }
@@ -348,6 +391,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (last, bneck_iface),
                     background: Vec::new(),
+                    population: None,
                     prober,
                     responder,
                     primary_path: Vec::new(),
@@ -400,6 +444,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (isp, bneck_iface),
                     background,
+                    population: None,
                     prober,
                     responder,
                     primary_path: Vec::new(),
@@ -465,6 +510,81 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (hub, bneck_iface),
                     background,
+                    population: None,
+                    prober,
+                    responder,
+                    primary_path: Vec::new(),
+                }
+            }
+            TopologySpec::Metro {
+                spokes,
+                ref population,
+            } => {
+                assert!(spokes >= 2, "metro needs the source and neutral spokes");
+                assert!(spokes <= 250, "metro supports at most 250 spokes");
+                let src = sim.add_node("src", src_node);
+                let hub = sim.add_node("hub", Box::new(RouterNode::new("hub")));
+                let neut = sim.add_node("neut", neut_node);
+                let dst = sim.add_node("dst", dst_node);
+                sim.connect_sym(src, hub, edge_link());
+                // As in the star, the hub's uplink into the neutral
+                // domain is the bottleneck every cohort contends on.
+                let (bneck_iface, _) = sim.connect(
+                    hub,
+                    neut,
+                    link.bottleneck_profile(backbone_link()),
+                    backbone_link(),
+                );
+                sim.connect_sym(neut, dst, edge_link());
+
+                let mut advertised = base_prefixes(src, dst, neut, dyn_pool);
+                for i in 0..spokes.saturating_sub(2) {
+                    let leaf =
+                        sim.add_node(format!("leaf{i}"), Box::new(nn_netsim::SinkNode::new()));
+                    sim.connect_sym(hub, leaf, edge_link());
+                    advertised.push((stub_prefix(i as u8 + 1), leaf));
+                }
+                // The population plane: every cohort multiplexed behind
+                // one node on a fat access link into the hub, its sink
+                // on a fat link inside the neutral domain. Population
+                // frames cross the hub (the discriminator) and the
+                // bottleneck uplink like any foreground flow.
+                let models = population.models();
+                let pop = sim.add_node(
+                    "pop",
+                    Box::new(nn_netsim::PopulationNode::new(
+                        POP_ADDR,
+                        POP_SINK_ADDR,
+                        crate::hosts::APP_PORT,
+                        crate::hosts::APP_PORT,
+                        0,
+                        models.clone(),
+                    )),
+                );
+                sim.connect_sym(hub, pop, pop_edge_link());
+                let pop_sink = sim.add_node(
+                    "pop-sink",
+                    Box::new(nn_netsim::PopulationSinkNode::for_models(&models)),
+                );
+                sim.connect_sym(neut, pop_sink, pop_edge_link());
+                advertised.push((Ipv4Cidr::new(POP_ADDR, 24), pop));
+                advertised.push((Ipv4Cidr::new(POP_SINK_ADDR, 24), pop_sink));
+
+                let (prober, responder) =
+                    attach_probe_plane(sim, probe, hub, hub, &[hub], &mut advertised);
+                let routers = vec![hub];
+                install_routes(sim, &routers, &[neut], &advertised);
+                BuiltTopology {
+                    src,
+                    neut,
+                    dst,
+                    discriminator: hub,
+                    disc_name: "hub".to_string(),
+                    routers,
+                    advertised,
+                    bottleneck: (hub, bneck_iface),
+                    background: Vec::new(),
+                    population: Some((pop, pop_sink)),
                     prober,
                     responder,
                     primary_path: Vec::new(),
@@ -523,6 +643,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (last, bneck_iface),
                     background: Vec::new(),
+                    population: None,
                     prober,
                     responder,
                     primary_path: Vec::new(),
@@ -582,6 +703,7 @@ impl TopologySpec {
                     advertised,
                     bottleneck: (prov_a, bneck_iface),
                     background: Vec::new(),
+                    population: None,
                     prober,
                     responder,
                     // Cutting off {prov-a, neut} severs isp—prov-a and
@@ -623,44 +745,19 @@ fn bg_suffix(background_flows: usize) -> String {
     }
 }
 
-/// Inter-frame gap of the cross-traffic generator: 1200 B at 2 Mbit/s.
-const BG_INTERVAL_NS: u64 = 4_800_000;
-
-/// The cross-traffic generator: 1200-byte frames at 2 Mbit/s, produced
-/// lazily on the timer clock for as long as the cell runs — no schedule
-/// is materialized ahead of time, and the bottleneck stays loaded over
-/// any horizon. The payload marker deliberately matches no
-/// [`crate::workload`] DPI signature: cross traffic competes for
-/// capacity, not for the adversary's classifier.
-struct BackgroundApp {
-    next_seq: u64,
-}
-
-impl AppSource for BackgroundApp {
-    fn poll(&mut self, now: SimTime, _rng: &mut StdRng) -> Vec<AppCommand> {
-        let mut out = Vec::new();
-        while self.next_seq * BG_INTERVAL_NS <= now.as_nanos() {
-            out.push(AppCommand {
-                to: "bg-sink".to_string(),
-                data: marked_payload(b"BG/CROSS", self.next_seq, 1200),
-            });
-            self.next_seq += 1;
-        }
-        out
-    }
-
-    fn next_wake(&self, _now: SimTime) -> Option<SimTime> {
-        Some(SimTime(self.next_seq * BG_INTERVAL_NS))
-    }
-
-    fn on_receive(&mut self, _now: SimTime, _from: &str, _data: &[u8]) -> Vec<AppCommand> {
-        Vec::new()
-    }
-}
-
 /// Attaches `count` plain bulk customers to `attach_to`, each pushing
-/// [`BackgroundApp`] cross-traffic toward `target`, and advertises
-/// their /24s. Returns the new node ids.
+/// cross-traffic toward `target`, and advertises their /24s. Returns
+/// the new node ids.
+///
+/// Each stub is a thin wrapper over one cohort of
+/// [`PopulationSpec::background`]: a one-endpoint bulk class (1200-byte
+/// frames at 2 Mbit/s) lowered onto a full host stack via
+/// [`crate::population::CohortApp`] — the same arrival lattice the
+/// `metro` shape runs at population scale. The schedule is produced
+/// lazily on the timer clock for as long as the cell runs, and its
+/// `BG/CROSS` marker deliberately matches no [`crate::workload`] DPI
+/// signature: cross traffic competes for capacity, not for the
+/// adversary's classifier.
 fn attach_background(
     sim: &mut Simulator,
     count: usize,
@@ -669,10 +766,14 @@ fn attach_background(
     advertised: &mut Vec<(Ipv4Cidr, NodeId)>,
 ) -> Vec<NodeId> {
     assert!(count <= 250, "at most 250 background flows fit the octet");
-    (0..count)
-        .map(|i| {
+    let population = PopulationSpec::background(count);
+    population
+        .cohorts
+        .iter()
+        .enumerate()
+        .map(|(i, cohort)| {
             let addr = Ipv4Addr::new(10, 210, i as u8, 1);
-            let app = Box::new(BackgroundApp { next_seq: 0 });
+            let app = Box::new(cohort.app("bg-sink"));
             let node = sim.add_node(
                 format!("bg{i}"),
                 Box::new(PlainSourceNode::new(addr, target, 0, format!("bg{i}"), app)),
@@ -928,6 +1029,54 @@ pub(crate) mod tests {
             .name(),
             TopologySpec::dumbbell_default().name(),
             "different bottlenecks must not share a label"
+        );
+        assert_eq!(
+            TopologySpec::metro_default().name(),
+            "metro4-voip16-20000up+neutral1000-200000uf"
+        );
+    }
+
+    /// The metro shape carries its population plane into the hub
+    /// bottleneck: both cohorts' frames terminate at the sink with
+    /// their per-cohort aggregates filled, and the plane's prefixes are
+    /// routable everywhere.
+    #[test]
+    fn metro_population_plane_feeds_the_bottleneck() {
+        let (mut sim, built) = build_for_test(&TopologySpec::metro_default());
+        let (pop, pop_sink) = built.population.expect("metro carries a population");
+        assert_eq!(sim.node_name(pop), "pop");
+        assert_eq!(sim.node_name(pop_sink), "pop-sink");
+        for &r in &built.routers {
+            let router = sim.node_ref::<RouterNode>(r).expect("router");
+            for addr in [POP_ADDR, POP_SINK_ADDR] {
+                assert!(
+                    router.routes().lookup(addr).is_some(),
+                    "router {} has no route to {addr}",
+                    sim.node_name(r)
+                );
+            }
+        }
+        sim.run_until(nn_netsim::SimTime::from_millis(500));
+        let sink = sim
+            .node_ref::<nn_netsim::PopulationSinkNode>(pop_sink)
+            .expect("population sink");
+        assert_eq!(sink.parse_errors, 0);
+        for cohort in sink.cohorts() {
+            assert!(
+                cohort.rx_packets > 0,
+                "cohort {} must terminate frames",
+                cohort.name
+            );
+        }
+        // The fluid cohort models far more frames than it puts on the
+        // wire: 1000 endpoints at 5 Hz for 0.5 s ≈ 2500 modeled frames
+        // over ~50 wire frames.
+        let neutral = sink.cohort("pop1-neutral").expect("fluid cohort");
+        assert!(neutral.rx_packets > 10 * neutral.wire_frames);
+        let counters = sim.link_counters(built.bottleneck.0, built.bottleneck.1);
+        assert!(
+            counters.tx_bytes > 50_000,
+            "population load must cross the bottleneck: {counters:?}"
         );
     }
 

@@ -228,3 +228,76 @@ fn detection_matrix_matches_golden_and_tells_the_story() {
         d.recall
     );
 }
+
+/// The population battery: the `metro` matrix (flyweight cohorts, one
+/// packet-accurate and one fluid, feeding the hub bottleneck) must be
+/// byte-identical across thread counts and against its committed
+/// golden — and the per-cohort flow rows must actually be there, in
+/// both JSON and CSV.
+#[test]
+fn metro_matrix_json_matches_golden_at_any_thread_count() {
+    let spec = named_matrix("metro").expect("metro matrix exists");
+    let one = run_matrix_with_threads(&spec, 1);
+    let three = run_matrix_with_threads(&spec, 3);
+    assert_eq!(
+        one.to_json(),
+        three.to_json(),
+        "thread count must not leak into the report"
+    );
+    assert_golden("metro_matrix.json", &one.to_json());
+    assert_golden("metro_matrix.csv", &one.to_csv());
+
+    // Every cell carries the workload flow first, then both cohorts.
+    for c in &one.cells {
+        let names: Vec<&str> = c.report.flows.iter().map(|f| f.flow.as_str()).collect();
+        assert_eq!(
+            names,
+            ["voip", "pop0-voip", "pop1-neutral"],
+            "cell {}",
+            c.index
+        );
+    }
+    // And the CSV has one extra row per cohort.
+    assert_eq!(
+        one.to_csv().lines().count(),
+        1 + 3 * one.cells.len(),
+        "per-cohort CSV rows"
+    );
+
+    // The population story: content DPI collapses the marked VoIP
+    // cohort while the unmarked neutral cohort rides through unharmed.
+    let cohort = |adversary: &str, flow: &str| -> &nn_lab::CellFlow {
+        one.cells
+            .iter()
+            .find(|c| c.adversary == adversary && c.stack == "plain" && c.link == "clean")
+            .expect("cell exists")
+            .report
+            .flows
+            .iter()
+            .find(|f| f.flow == flow)
+            .expect("cohort row exists")
+    };
+    let voip_base = cohort("none", "pop0-voip").goodput_bps;
+    let voip_dpi = cohort("content-dpi", "pop0-voip").goodput_bps;
+    assert!(
+        voip_dpi < 0.5 * voip_base,
+        "DPI must collapse the marked cohort: {voip_dpi} vs {voip_base}"
+    );
+    let neutral_base = cohort("none", "pop1-neutral").goodput_bps;
+    let neutral_dpi = cohort("content-dpi", "pop1-neutral").goodput_bps;
+    assert!(
+        neutral_dpi > 0.9 * neutral_base,
+        "the unmarked cohort must ride through DPI: {neutral_dpi} vs {neutral_base}"
+    );
+}
+
+/// The sharded pipeline over the population matrix: three strided
+/// shards, wire round-trip, merge, finalize — byte-identical to the
+/// single-process golden.
+#[test]
+fn sharded_metro_run_matches_the_single_process_golden() {
+    let spec = named_matrix("metro").expect("metro matrix exists");
+    let sharded = run_sharded_via_wire(&spec, 3);
+    assert_golden("metro_matrix.json", &sharded.to_json());
+    assert_golden("metro_matrix.csv", &sharded.to_csv());
+}

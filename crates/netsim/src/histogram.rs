@@ -69,22 +69,38 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, v: u64) {
+        self.record_n(v, 1);
+    }
+
+    /// Records `n` copies of one sample in O(1) — the weighted form the
+    /// fluid population path uses to credit a whole represented batch at
+    /// once. Equivalent to calling [`Histogram::record`] `n` times.
+    pub fn record_n(&mut self, v: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         if self.counts.is_empty() {
             self.counts = vec![0; BUCKET_COUNT];
         }
-        self.counts[bucket_index(v)] += 1;
-        self.total += 1;
+        self.counts[bucket_index(v)] += n;
+        self.total += n;
     }
 
     /// Records a non-negative duration given in seconds, at nanosecond
     /// resolution (negative or non-finite inputs count as zero).
     pub fn record_secs(&mut self, secs: f64) {
+        self.record_secs_n(secs, 1);
+    }
+
+    /// Weighted form of [`Histogram::record_secs`]: `n` copies of the
+    /// same duration in O(1).
+    pub fn record_secs_n(&mut self, secs: f64, n: u64) {
         let ns = if secs.is_finite() && secs > 0.0 {
             (secs * 1e9).round() as u64
         } else {
             0
         };
-        self.record(ns);
+        self.record_n(ns, n);
     }
 
     /// Total samples recorded.
@@ -341,6 +357,22 @@ mod tests {
         let mut bad = good;
         bad[4] = bad[4].wrapping_add(1);
         assert!(Histogram::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn record_n_equals_n_records() {
+        let (mut weighted, mut looped) = (Histogram::new(), Histogram::new());
+        weighted.record_n(1234, 5);
+        weighted.record_secs_n(0.002, 3);
+        weighted.record_n(9, 0); // zero weight is a no-op
+        for _ in 0..5 {
+            looped.record(1234);
+        }
+        for _ in 0..3 {
+            looped.record_secs(0.002);
+        }
+        assert_eq!(weighted, looped);
+        assert_eq!(weighted.encode(), looped.encode());
     }
 
     #[test]

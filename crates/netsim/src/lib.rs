@@ -31,6 +31,12 @@
 //! * [`policy`] — the discriminatory-ISP adversary: DPI, encrypted-traffic
 //!   and key-setup detectors, drop/delay/throttle/DSCP actions (§1, §3.6).
 //! * [`nodes`] — generic router and sink nodes.
+//! * [`population`] — flyweight endpoint populations: a
+//!   [`PopulationNode`] multiplexes thousands-to-millions of modeled
+//!   hosts as seeded statistical cohorts that emit real pooled frames
+//!   but keep only per-cohort aggregate statistics, with an optional
+//!   fluid mode advancing bulk cohorts as rate equations between wheel
+//!   quanta.
 //! * [`stats`] — counters, series, per-flow delay/goodput accounting.
 //! * [`time`] — nanosecond simulated time.
 //!
@@ -46,6 +52,7 @@ pub mod histogram;
 pub mod link;
 pub mod nodes;
 pub mod policy;
+pub mod population;
 pub mod queue;
 pub mod routing;
 pub mod sim;
@@ -59,6 +66,10 @@ pub use histogram::Histogram;
 pub use link::{FaultConfig, LinkConfig, LinkProfile, LossModel, QueueKind, StageSpec};
 pub use nodes::{RouterNode, SinkNode};
 pub use policy::{Action, MatchExpr, PolicyEngine, Rule, Verdict};
+pub use population::{
+    ArrivalClock, CohortAggregate, CohortModel, CohortTx, PopulationNode, PopulationSinkNode,
+    AGGREGATE_STRIPES, FLUID_QUANTUM,
+};
 pub use queue::{DropTail, DscpPriority, EnqueueResult, Queue, Red, TokenBucket};
 pub use routing::{compute_routes, RouteTable};
 pub use sim::{Context, IfaceId, LinkCounters, Node, NodeId, Simulator};
