@@ -13,6 +13,11 @@
 //! regressed by more than `--tolerance` percent (default 25) — the CI
 //! regression gate for the allocation-free data path.
 //!
+//! `--require SUITE/BENCH[,SUITE/BENCH…]` hardens the gate: each named
+//! bench must be present in both the current run and the baseline, so a
+//! renamed or silently dropped hot-path bench fails the check instead
+//! of being skipped.
+//!
 //! Raw numbers are machine-dependent, so `--check` on different
 //! hardware than the baseline's needs `--calibrate SUITE/BENCH`: the
 //! named bench (a stable, CPU-bound one like
@@ -29,7 +34,8 @@ use nn_lab::json::Json;
 fn usage() -> ! {
     eprintln!(
         "usage: nn-bench [--json FILE] [--suites a,b,c] [--check BASELINE] \
-         [--tolerance PCT] [--calibrate SUITE/BENCH] [--gate a,b] [--list]\nsuites: {}",
+         [--tolerance PCT] [--calibrate SUITE/BENCH] [--gate a,b] \
+         [--require SUITE/BENCH,...] [--list]\nsuites: {}",
         SUITES
             .iter()
             .map(|(n, _, _)| *n)
@@ -46,6 +52,7 @@ fn main() {
     let mut selected: Option<Vec<String>> = None;
     let mut calibrate: Option<String> = None;
     let mut gated: Option<Vec<String>> = None;
+    let mut required: Vec<String> = Vec::new();
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,6 +70,9 @@ fn main() {
             "--calibrate" => calibrate = Some(next_value(&mut i)),
             "--gate" => {
                 gated = Some(next_value(&mut i).split(',').map(str::to_string).collect());
+            }
+            "--require" => {
+                required.extend(next_value(&mut i).split(',').map(str::to_string));
             }
             "--suites" => {
                 selected = Some(next_value(&mut i).split(',').map(str::to_string).collect());
@@ -86,6 +96,10 @@ fn main() {
         eprintln!("--gate only applies to --check; nothing to compare against");
         usage();
     }
+    if !required.is_empty() && check_path.is_none() {
+        eprintln!("--require only applies to --check; nothing to compare against");
+        usage();
+    }
     // Validate every suite name up front: a typo'd --gate would
     // otherwise silently drop a suite from the regression gate.
     let known = |name: &str| SUITES.iter().any(|(n, _, _)| *n == name);
@@ -95,10 +109,10 @@ fn main() {
             usage();
         }
     }
-    if let Some(spec) = &calibrate {
+    for spec in calibrate.iter().chain(&required) {
         let suite = spec.split_once('/').map(|(s, _)| s);
         if !suite.is_some_and(known) {
-            eprintln!("--calibrate wants KNOWN_SUITE/BENCH, got {spec:?}");
+            eprintln!("--calibrate/--require want KNOWN_SUITE/BENCH, got {spec:?}");
             usage();
         }
     }
@@ -153,10 +167,47 @@ fn main() {
                 .cloned()
                 .collect(),
         };
+        if !require_present(&report, &baseline, &required) {
+            std::process::exit(1);
+        }
         if !check_against(&gate_filter, &baseline, tolerance_pct, scale) {
             std::process::exit(1);
         }
     }
+}
+
+/// Verifies every `--require`d SUITE/BENCH exists in both the current
+/// run and the baseline, so the gate cannot silently lose coverage of a
+/// pinned hot-path bench.
+fn require_present(
+    report: &[(&str, Vec<BenchResult>)],
+    baseline: &Json,
+    required: &[String],
+) -> bool {
+    let base = flatten(baseline);
+    let mut ok = true;
+    for spec in required {
+        let Some((suite, name)) = spec.split_once('/') else {
+            eprintln!("--require wants SUITE/BENCH, got {spec:?}");
+            return false;
+        };
+        let in_run = report
+            .iter()
+            .any(|(s, rs)| *s == suite && rs.iter().any(|r| r.name == name));
+        let in_base = base.iter().any(|(s, n, _)| s == suite && n == name);
+        if !in_run || !in_base {
+            eprintln!(
+                "require {spec}: missing from {}",
+                match (in_run, in_base) {
+                    (false, false) => "the run and the baseline",
+                    (false, true) => "the run",
+                    _ => "the baseline",
+                }
+            );
+            ok = false;
+        }
+    }
+    ok
 }
 
 /// The machine-speed correction factor: current ÷ baseline ns/iter of

@@ -38,7 +38,7 @@ pub mod wire;
 
 pub use app::{AppCommand, AppSource, EchoApp, NullApp, ScriptedApp};
 pub use multihome::{NeutralizerSelector, SelectPolicy};
-pub use neutralizer::{MasterKeyEpochs, NeutralizerConfig, NeutralizerNode};
+pub use neutralizer::{KeyTable, MasterKeyEpochs, NeutralizerConfig, NeutralizerNode};
 pub use probe::{ProbeKind, ProbePayload};
 pub use pushback::{PushbackConfig, PushbackEngine};
 pub use wire::{InnerPayload, KeyFetchReply, KeyFetchReq, PushbackMsg, TransportMsg};

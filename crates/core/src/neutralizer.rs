@@ -95,6 +95,225 @@ impl MasterKeyEpochs {
     pub fn current_key(&self) -> &MasterKey {
         &self.current
     }
+
+    /// Whether nonces minted in `epoch` are still derivable (current
+    /// epoch, or the previous one within its grace window).
+    pub fn epoch_is_live(&self, epoch: u8) -> bool {
+        epoch == self.current_epoch || self.previous.as_ref().is_some_and(|(e, _)| *e == epoch)
+    }
+}
+
+/// Sentinel index for the intrusive LRU list.
+const NIL: usize = usize::MAX;
+
+/// One occupied slot of the [`KeyTable`] cache.
+struct CacheSlot {
+    nonce: u64,
+    src: u32,
+    ks: [u8; 16],
+    sealer: AddrSealer,
+    prev: usize,
+    next: usize,
+}
+
+/// Epoch-aware bounded LRU cache over [`MasterKeyEpochs::derive`].
+///
+/// The neutralizer is *logically* stateless — any box can derive any
+/// flow's key from the packet alone, which is what the anycast
+/// deployment rests on — but nothing stops a busy box from memoizing:
+/// this table caches the derived `Ks` and the expanded AES schedule of
+/// its address sealer per `(nonce, src)`, collapsing the per-packet
+/// CMAC derivation + key schedule to a hash lookup. Correctness
+/// properties:
+///
+/// * every hit re-validates the nonce's epoch byte against the live
+///   epochs, and [`rotate`](Self::rotate) purges slots of the epoch
+///   that just died, so the cache can never resurrect an expired epoch
+///   (nor confuse a wrapped epoch byte with an ancient entry);
+/// * eviction is strictly least-recently-used through an intrusive
+///   list over slot indices — never dependent on hash-map iteration
+///   order — so cached and uncached runs stay byte-identical;
+/// * capacity 0 disables caching entirely (every packet derives fresh).
+pub struct KeyTable {
+    keys: MasterKeyEpochs,
+    capacity: usize,
+    map: std::collections::HashMap<(u64, u32), usize>,
+    slots: Vec<Option<CacheSlot>>,
+    free: Vec<usize>,
+    /// Most-recently-used slot index, or `NIL`.
+    head: usize,
+    /// Least-recently-used slot index (eviction victim), or `NIL`.
+    tail: usize,
+    hits: u64,
+    misses: u64,
+    /// Holds the fresh sealer when the cache is disabled.
+    scratch: Option<AddrSealer>,
+}
+
+impl KeyTable {
+    /// Wraps the epoch machinery with a cache of at most `capacity`
+    /// derived keys (0 disables caching).
+    pub fn new(keys: MasterKeyEpochs, capacity: usize) -> Self {
+        KeyTable {
+            keys,
+            capacity,
+            map: std::collections::HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+            scratch: None,
+        }
+    }
+
+    /// The wrapped epoch machinery.
+    pub fn epochs(&self) -> &MasterKeyEpochs {
+        &self.keys
+    }
+
+    /// Cache hits since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses (fresh derivations that were inserted).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of currently cached keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache currently holds no keys.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Rotates the master key and purges slots of the epoch that just
+    /// fell out of its grace window.
+    pub fn rotate(&mut self, key: [u8; 16]) {
+        self.keys.rotate(key);
+        for idx in 0..self.slots.len() {
+            let dead = self.slots[idx]
+                .as_ref()
+                .is_some_and(|s| !self.keys.epoch_is_live((s.nonce >> 56) as u8));
+            if dead {
+                self.remove(idx);
+            }
+        }
+    }
+
+    fn unlink(&mut self, prev: usize, next: usize) {
+        if prev == NIL {
+            self.head = next;
+        } else {
+            self.slots[prev].as_mut().expect("linked slot").next = next;
+        }
+        if next == NIL {
+            self.tail = prev;
+        } else {
+            self.slots[next].as_mut().expect("linked slot").prev = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        let old_head = self.head;
+        {
+            let s = self.slots[idx].as_mut().expect("pushed slot");
+            s.prev = NIL;
+            s.next = old_head;
+        }
+        if old_head != NIL {
+            self.slots[old_head].as_mut().expect("old head").prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn remove(&mut self, idx: usize) {
+        let slot = self.slots[idx].take().expect("occupied slot");
+        self.map.remove(&(slot.nonce, slot.src));
+        self.unlink(slot.prev, slot.next);
+        self.free.push(idx);
+    }
+
+    /// Finds or creates the cache slot for `(nonce, src)`; `None` when
+    /// the nonce's epoch has expired. The bool is true on a hit.
+    fn lookup(&mut self, nonce: u64, src: Ipv4Addr) -> Option<(usize, bool)> {
+        let key = (nonce, src.to_u32());
+        if let Some(&idx) = self.map.get(&key) {
+            if self.keys.epoch_is_live((nonce >> 56) as u8) {
+                self.hits += 1;
+                if self.head != idx {
+                    let (prev, next) = {
+                        let s = self.slots[idx].as_ref().expect("mapped slot");
+                        (s.prev, s.next)
+                    };
+                    self.unlink(prev, next);
+                    self.push_front(idx);
+                }
+                return Some((idx, true));
+            }
+            // A dead epoch that survived in the map (possible only via
+            // an epoch-byte forgery, since rotate() purges) — drop it.
+            self.remove(idx);
+            return None;
+        }
+        let ks = self.keys.derive(nonce, src)?;
+        self.misses += 1;
+        let idx = if let Some(idx) = self.free.pop() {
+            idx
+        } else if self.slots.len() < self.capacity {
+            self.slots.push(None);
+            self.slots.len() - 1
+        } else {
+            self.remove(self.tail);
+            self.free.pop().expect("slot freed by eviction")
+        };
+        let sealer = AddrSealer::new(&ks);
+        self.slots[idx] = Some(CacheSlot {
+            nonce,
+            src: src.to_u32(),
+            ks,
+            sealer,
+            prev: NIL,
+            next: NIL,
+        });
+        self.map.insert(key, idx);
+        self.push_front(idx);
+        Some((idx, false))
+    }
+
+    /// Derives `Ks` for (nonce, source) through the cache. Semantically
+    /// identical to [`MasterKeyEpochs::derive`], only faster on repeats.
+    pub fn derive(&mut self, nonce: u64, src: Ipv4Addr) -> Option<[u8; 16]> {
+        if self.capacity == 0 {
+            return self.keys.derive(nonce, src);
+        }
+        let (idx, _) = self.lookup(nonce, src)?;
+        Some(self.slots[idx].as_ref().expect("looked-up slot").ks)
+    }
+
+    /// The address sealer keyed by `Ks(nonce, src)`, plus whether it
+    /// came from the cache. `None` when the nonce's epoch has expired.
+    pub fn sealer(&mut self, nonce: u64, src: Ipv4Addr) -> Option<(&AddrSealer, bool)> {
+        if self.capacity == 0 {
+            let ks = self.keys.derive(nonce, src)?;
+            self.scratch = Some(AddrSealer::new(&ks));
+            return Some((self.scratch.as_ref().expect("just set"), false));
+        }
+        let (idx, hit) = self.lookup(nonce, src)?;
+        Some((
+            &self.slots[idx].as_ref().expect("looked-up slot").sealer,
+            hit,
+        ))
+    }
 }
 
 /// Static configuration of a neutralizer box.
@@ -112,6 +331,9 @@ pub struct NeutralizerConfig {
     /// Rotate the master key automatically at this interval (§4's
     /// one-hour lifetime), if set.
     pub key_lifetime: Option<std::time::Duration>,
+    /// Capacity of the per-flow derived-key cache (entries); 0 derives
+    /// fresh on every packet, recovering the fully stateless data path.
+    pub key_cache: usize,
     /// Name prefix for statistics counters.
     pub stats_name: String,
 }
@@ -126,6 +348,7 @@ impl NeutralizerConfig {
             offload_helper: None,
             pushback: None,
             key_lifetime: None,
+            key_cache: 1024,
             stats_name: "neutralizer".to_string(),
         }
     }
@@ -134,7 +357,7 @@ impl NeutralizerConfig {
 /// The neutralizer node: border router + neutralization functions.
 pub struct NeutralizerNode {
     config: NeutralizerConfig,
-    keys: MasterKeyEpochs,
+    keys: KeyTable,
     routes: RouteTable,
     pushback: Option<PushbackEngine>,
     /// Ingress iface of the most recent flood aggregate (for upstream
@@ -149,9 +372,10 @@ pub struct NeutralizerNode {
 impl NeutralizerNode {
     /// Builds a neutralizer with the given master key material.
     pub fn new(config: NeutralizerConfig, master_key: [u8; 16]) -> Self {
+        let keys = KeyTable::new(MasterKeyEpochs::new(master_key), config.key_cache);
         NeutralizerNode {
             pushback: None, // armed in on_start (needs sim time)
-            keys: MasterKeyEpochs::new(master_key),
+            keys,
             routes: RouteTable::new(),
             last_setup_iface: None,
             data_packets: 0,
@@ -167,10 +391,16 @@ impl NeutralizerNode {
 
     /// The epoch machinery (tests and harnesses).
     pub fn keys(&self) -> &MasterKeyEpochs {
+        self.keys.epochs()
+    }
+
+    /// The derived-key cache (tests and harnesses).
+    pub fn key_table(&self) -> &KeyTable {
         &self.keys
     }
 
-    /// Forces a master-key rotation with the given material.
+    /// Forces a master-key rotation with the given material. Cached
+    /// keys of the epoch that just expired are purged.
     pub fn rotate_master_key(&mut self, key: [u8; 16]) {
         self.keys.rotate(key);
     }
@@ -256,9 +486,11 @@ impl NeutralizerNode {
             self.stat(ctx, "setup_bad_pubkey");
             return;
         };
-        let nonce = self.keys.mint_nonce(ctx.rng);
+        // Fresh mints bypass the cache: a setup nonce is seen once here.
+        let nonce = self.keys.epochs().mint_nonce(ctx.rng);
         let ks = self
             .keys
+            .epochs()
             .derive(nonce, parsed.ip.src)
             .expect("minted nonce is current-epoch");
 
@@ -351,12 +583,22 @@ impl NeutralizerNode {
             self.stat(ctx, "data_parse_error");
             return;
         };
-        let Some(ks) = self.keys.derive(parsed.shim.nonce, parsed.ip.src) else {
-            self.stat(ctx, "data_expired_epoch");
-            return;
+        let (opened, cache_hit) = match self.keys.sealer(parsed.shim.nonce, parsed.ip.src) {
+            None => {
+                self.stat(ctx, "data_expired_epoch");
+                return;
+            }
+            Some((sealer, hit)) => (sealer.open(parsed.shim.nonce, &parsed.shim.addr_block), hit),
         };
-        let sealer = AddrSealer::new(&ks);
-        let Ok(dst_raw) = sealer.open(parsed.shim.nonce, &parsed.shim.addr_block) else {
+        self.stat(
+            ctx,
+            if cache_hit {
+                "key_cache_hit"
+            } else {
+                "key_cache_miss"
+            },
+        );
+        let Ok(dst_raw) = opened else {
             self.stat(ctx, "data_unseal_fail");
             return;
         };
@@ -368,9 +610,10 @@ impl NeutralizerNode {
         }
         self.data_packets += 1;
         let stamp = if parsed.shim.flags & shim_flags::KEY_REQUEST != 0 {
-            let nonce2 = self.keys.mint_nonce(ctx.rng);
+            let nonce2 = self.keys.epochs().mint_nonce(ctx.rng);
             let ks2 = self
                 .keys
+                .epochs()
                 .derive(nonce2, parsed.ip.src)
                 .expect("minted nonce is current-epoch");
             self.stat(ctx, "data_stamped");
@@ -423,18 +666,29 @@ impl NeutralizerNode {
             return;
         }
         let initiator = ShimRepr::addr_from_plain_block(&parsed.shim.addr_block);
-        let Some(ks) = self.keys.derive(parsed.shim.nonce, initiator) else {
-            self.stat(ctx, "return_expired_epoch");
-            return;
+        // Both directions derive from (nonce, outside address), so the
+        // return path shares the forward path's cache entry.
+        let (sealed, cache_hit) = match self.keys.sealer(parsed.shim.nonce, initiator) {
+            None => {
+                self.stat(ctx, "return_expired_epoch");
+                return;
+            }
+            Some((sealer, hit)) => (sealer.seal(parsed.shim.nonce, parsed.ip.src.to_u32()), hit),
         };
+        self.stat(
+            ctx,
+            if cache_hit {
+                "key_cache_hit"
+            } else {
+                "key_cache_miss"
+            },
+        );
         self.data_packets += 1;
-        let sealer = AddrSealer::new(&ks);
-        let sealed = sealer.seal(parsed.shim.nonce, parsed.ip.src.to_u32());
         let wants_dyn = parsed.shim.flags & shim_flags::DYN_ADDR != 0;
         let visible_src = if wants_dyn {
             qos::dynamic_address(
                 self.config.dyn_pool,
-                self.keys.current_key(),
+                self.keys.epochs().current_key(),
                 parsed.ip.src,
                 parsed.shim.nonce,
             )
@@ -479,11 +733,12 @@ impl NeutralizerNode {
             self.stat(ctx, "fetch_bad_request");
             return;
         };
-        let nonce = self.keys.mint_nonce(ctx.rng);
+        let nonce = self.keys.epochs().mint_nonce(ctx.rng);
         // Bound to the OUTSIDE address, so both directions derive the
         // same key from packet headers alone.
         let key = self
             .keys
+            .epochs()
             .derive(nonce, req.remote)
             .expect("minted nonce is current-epoch");
         let reply = KeyFetchReply {
@@ -651,6 +906,95 @@ mod tests {
         keys.rotate([3u8; 16]);
         // Two rotations later the original epoch is dead.
         assert_eq!(keys.derive(old_nonce, src), None);
+    }
+
+    #[test]
+    fn key_table_honors_epochs_with_grace() {
+        // The cached path must replay derive_honors_epochs_with_grace
+        // exactly: grace-epoch hits stay valid, dead epochs vanish.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut table = KeyTable::new(MasterKeyEpochs::new([1u8; 16]), 8);
+        let reference = MasterKeyEpochs::new([1u8; 16]);
+        let src = Ipv4Addr::new(10, 0, 0, 1);
+        let old_nonce = table.epochs().mint_nonce(&mut rng);
+        let old_key = table.derive(old_nonce, src).unwrap();
+        assert_eq!(reference.derive(old_nonce, src), Some(old_key));
+        assert_eq!((table.hits(), table.misses()), (0, 1));
+
+        table.rotate([2u8; 16]);
+        // Grace: the cached previous-epoch entry survives the rotation
+        // and serves a hit with the same value.
+        assert_eq!(table.derive(old_nonce, src), Some(old_key));
+        assert_eq!((table.hits(), table.misses()), (1, 1));
+        let new_nonce = table.epochs().mint_nonce(&mut rng);
+        assert!(table.derive(new_nonce, src).is_some());
+
+        table.rotate([3u8; 16]);
+        // Two rotations later the original epoch is dead: the entry was
+        // purged and derivation refuses.
+        assert_eq!(table.derive(old_nonce, src), None);
+        assert_eq!(table.len(), 1, "only the epoch-1 entry remains");
+
+        // 254 more rotations wrap the epoch byte back to the old
+        // nonce's value; the purge must prevent a stale hit.
+        for round in 0..254u16 {
+            table.rotate([round as u8; 16]);
+        }
+        assert_eq!(table.epochs().current_epoch(), (old_nonce >> 56) as u8);
+        assert!(table.is_empty());
+        // A wrapped-epoch derive is a fresh miss under the new key, not
+        // a replay of the cached original.
+        let rewrapped = table.derive(old_nonce, src).unwrap();
+        assert_ne!(rewrapped, old_key);
+    }
+
+    #[test]
+    fn key_table_evicts_least_recently_used() {
+        let mut table = KeyTable::new(MasterKeyEpochs::new([7u8; 16]), 2);
+        let src = Ipv4Addr::new(10, 0, 0, 9);
+        table.derive(1, src);
+        table.derive(2, src);
+        table.derive(1, src); // touch 1 → LRU victim is 2
+        assert_eq!((table.hits(), table.misses()), (1, 2));
+        table.derive(3, src); // evicts 2
+        assert_eq!(table.len(), 2);
+        table.derive(1, src); // still cached
+        assert_eq!(table.hits(), 2);
+        table.derive(2, src); // was evicted → miss again
+        assert_eq!((table.hits(), table.misses()), (2, 4));
+    }
+
+    #[test]
+    fn key_table_zero_capacity_disables_caching() {
+        let mut table = KeyTable::new(MasterKeyEpochs::new([4u8; 16]), 0);
+        let reference = MasterKeyEpochs::new([4u8; 16]);
+        let src = Ipv4Addr::new(10, 2, 0, 1);
+        for _ in 0..3 {
+            assert_eq!(table.derive(5, src), reference.derive(5, src));
+        }
+        assert!(table.is_empty());
+        assert_eq!((table.hits(), table.misses()), (0, 0));
+        let (_, hit) = table.sealer(5, src).unwrap();
+        assert!(!hit);
+    }
+
+    #[test]
+    fn key_table_sealer_matches_fresh_sealer() {
+        // A cache-hit sealer must produce byte-identical output to one
+        // built fresh from the stateless derivation.
+        let mut table = KeyTable::new(MasterKeyEpochs::new([8u8; 16]), 4);
+        let reference = MasterKeyEpochs::new([8u8; 16]);
+        let src = Ipv4Addr::new(88, 1, 2, 3);
+        let nonce = 0x0042_4242;
+        let addr = 0x0a00_00ffu32;
+        let fresh = AddrSealer::new(&reference.derive(nonce, src).unwrap());
+        let expect = fresh.seal(nonce, addr);
+        for round in 0..2 {
+            let (sealer, hit) = table.sealer(nonce, src).unwrap();
+            assert_eq!(hit, round == 1);
+            assert_eq!(sealer.seal(nonce, addr), expect);
+            assert_eq!(sealer.open(nonce, &expect).unwrap(), addr);
+        }
     }
 
     #[test]

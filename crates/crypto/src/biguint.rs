@@ -170,6 +170,10 @@ impl BigUint {
         &self.limbs
     }
 
+    pub(crate) fn into_limbs(self) -> Vec<u64> {
+        self.limbs
+    }
+
     pub(crate) fn from_limbs(mut limbs: Vec<u64>) -> Self {
         while limbs.last() == Some(&0) {
             limbs.pop();

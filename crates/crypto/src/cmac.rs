@@ -49,46 +49,68 @@ impl Cmac {
 
     /// Computes the 128-bit tag over `msg`.
     pub fn tag(&self, msg: &[u8]) -> [u8; 16] {
-        let n_blocks = msg.len().div_ceil(16).max(1);
-        let complete_last = !msg.is_empty() && msg.len().is_multiple_of(16);
+        self.tag_parts(&[msg])
+    }
 
+    /// Computes the tag over the logical concatenation of `parts`
+    /// without materializing it. `tag_parts(&[a, b])` equals
+    /// `tag(a ++ b)` for any split, which lets callers (record
+    /// seal/open, key derivation) tag `header || payload` messages
+    /// allocation-free.
+    pub fn tag_parts(&self, parts: &[&[u8]]) -> [u8; 16] {
         let mut x = [0u8; 16];
-        // All blocks except the last.
-        for i in 0..n_blocks - 1 {
-            for j in 0..16 {
-                x[j] ^= msg[i * 16 + j];
+        let mut buf = [0u8; 16];
+        // Bytes buffered in `buf`. A full buffer is held back, not yet
+        // encrypted: CMAC treats the final block specially, so a block
+        // may only be absorbed once more data proves it is not last.
+        let mut fill = 0usize;
+        for mut part in parts.iter().copied() {
+            while !part.is_empty() {
+                if fill == 16 {
+                    xor_block(&mut x, &buf);
+                    x = self.cipher.encrypt_copy(&x);
+                    fill = 0;
+                }
+                let take = (16 - fill).min(part.len());
+                buf[fill..fill + take].copy_from_slice(&part[..take]);
+                fill += take;
+                part = &part[take..];
             }
-            x = self.cipher.encrypt_copy(&x);
         }
         // Last block, masked with K1 (complete) or padded and masked with K2.
         let mut last = [0u8; 16];
-        if complete_last {
-            last.copy_from_slice(&msg[(n_blocks - 1) * 16..]);
-            for (l, k) in last.iter_mut().zip(self.k1.iter()) {
-                *l ^= k;
-            }
+        if fill == 16 {
+            last = buf;
+            xor_block(&mut last, &self.k1);
         } else {
-            let tail = &msg[(n_blocks - 1) * 16..];
-            last[..tail.len()].copy_from_slice(tail);
-            last[tail.len()] = 0x80;
-            for (l, k) in last.iter_mut().zip(self.k2.iter()) {
-                *l ^= k;
-            }
+            last[..fill].copy_from_slice(&buf[..fill]);
+            last[fill] = 0x80;
+            xor_block(&mut last, &self.k2);
         }
-        for j in 0..16 {
-            x[j] ^= last[j];
-        }
+        xor_block(&mut x, &last);
         self.cipher.encrypt_copy(&x)
     }
 
     /// Constant-shape tag verification.
     pub fn verify(&self, msg: &[u8], tag: &[u8; 16]) -> bool {
-        let expect = self.tag(msg);
+        self.verify_parts(&[msg], tag)
+    }
+
+    /// [`verify`](Self::verify) over a logical concatenation of parts.
+    pub fn verify_parts(&self, parts: &[&[u8]], tag: &[u8; 16]) -> bool {
+        let expect = self.tag_parts(parts);
         let mut diff = 0u8;
         for i in 0..16 {
             diff |= expect[i] ^ tag[i];
         }
         diff == 0
+    }
+}
+
+#[inline]
+fn xor_block(dst: &mut [u8; 16], src: &[u8; 16]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
     }
 }
 
@@ -183,7 +205,52 @@ mod tests {
         assert_ne!(a, b);
     }
 
+    #[test]
+    fn tag_parts_matches_tag_at_every_split() {
+        let c = Cmac::new(&rfc_key());
+        let msg = rfc_msg();
+        for cut in 0..=msg.len() {
+            let (a, b) = msg.split_at(cut);
+            assert_eq!(c.tag_parts(&[a, b]), c.tag(&msg), "cut={cut}");
+        }
+        assert_eq!(c.tag_parts(&[]), c.tag(b""));
+        assert_eq!(c.tag_parts(&[b"", &msg, b""]), c.tag(&msg));
+    }
+
+    #[test]
+    fn verify_parts_roundtrip() {
+        let c = Cmac::new(&[4u8; 16]);
+        let tag = c.tag_parts(&[b"head", b"tail"]);
+        assert!(c.verify_parts(&[b"head", b"tail"], &tag));
+        assert!(c.verify(b"headtail", &tag));
+        assert!(!c.verify_parts(&[b"head", b"tale"], &tag));
+    }
+
     proptest! {
+        #[test]
+        fn prop_tag_parts_matches_concat(
+            key in any::<[u8;16]>(),
+            parts in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..40), 0..5),
+        ) {
+            let c = Cmac::new(&key);
+            let concat: Vec<u8> = parts.iter().flatten().copied().collect();
+            let views: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+            prop_assert_eq!(c.tag_parts(&views), c.tag(&concat));
+        }
+
+        #[test]
+        fn prop_cached_context_matches_fresh(
+            key in any::<[u8;16]>(),
+            msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..48), 1..6),
+        ) {
+            // A long-lived context (cached subkeys) must tag exactly like
+            // a context derived fresh for every message.
+            let cached = Cmac::new(&key);
+            for m in &msgs {
+                prop_assert_eq!(cached.tag(m), cmac(&key, m));
+            }
+        }
+
         #[test]
         fn prop_distinct_messages_distinct_tags(
             key in any::<[u8;16]>(),

@@ -103,7 +103,7 @@ pub fn seal_keyed<R: Rng + ?Sized>(
     let (enc_key, mac_key) = split_keys(&session_key);
     let mut ciphertext = plaintext.to_vec();
     AesCtr::new(&enc_key).apply_keystream(nonce, &mut ciphertext);
-    let tag = tag_over(&mac_key, nonce, &ciphertext);
+    let tag = Cmac::new(&mac_key).tag_parts(&[&nonce.to_be_bytes(), &ciphertext]);
     Ok(E2eEnvelope {
         wrapped_key,
         nonce,
@@ -121,28 +121,13 @@ pub fn open(private: &RsaPrivateKey, env: &E2eEnvelope) -> Result<(Vec<u8>, [u8;
         .try_into()
         .map_err(|_| CryptoError::BadKey)?;
     let (enc_key, mac_key) = split_keys(&session_key);
-    let expect = tag_over(&mac_key, env.nonce, &env.ciphertext);
-    if !constant_eq(&expect, &env.tag) {
+    let mac = Cmac::new(&mac_key);
+    if !mac.verify_parts(&[&env.nonce.to_be_bytes(), &env.ciphertext], &env.tag) {
         return Err(CryptoError::AuthFailed);
     }
     let mut plaintext = env.ciphertext.clone();
     AesCtr::new(&enc_key).apply_keystream(env.nonce, &mut plaintext);
     Ok((plaintext, session_key))
-}
-
-fn tag_over(mac_key: &[u8; 16], nonce: u64, ciphertext: &[u8]) -> [u8; 16] {
-    let mut msg = Vec::with_capacity(8 + ciphertext.len());
-    msg.extend_from_slice(&nonce.to_be_bytes());
-    msg.extend_from_slice(ciphertext);
-    Cmac::new(mac_key).tag(&msg)
-}
-
-fn constant_eq(a: &[u8; 16], b: &[u8; 16]) -> bool {
-    let mut d = 0u8;
-    for i in 0..16 {
-        d |= a[i] ^ b[i];
-    }
-    d == 0
 }
 
 /// An established symmetric channel: after the first envelope both ends
@@ -222,10 +207,7 @@ impl E2eSession {
         self.next_nonce = self.next_nonce.wrapping_add(2);
         let mut ciphertext = plaintext.to_vec();
         self.enc.apply_keystream(nonce, &mut ciphertext);
-        let mut msg = Vec::with_capacity(8 + ciphertext.len());
-        msg.extend_from_slice(&nonce.to_be_bytes());
-        msg.extend_from_slice(&ciphertext);
-        let tag = self.mac.tag(&msg);
+        let tag = self.mac.tag_parts(&[&nonce.to_be_bytes(), &ciphertext]);
         E2eRecord {
             nonce,
             ciphertext,
@@ -235,11 +217,8 @@ impl E2eSession {
 
     /// Opens a record from the peer.
     pub fn open_record(&self, record: &E2eRecord) -> Result<Vec<u8>> {
-        let mut msg = Vec::with_capacity(8 + record.ciphertext.len());
-        msg.extend_from_slice(&record.nonce.to_be_bytes());
-        msg.extend_from_slice(&record.ciphertext);
-        let expect = self.mac.tag(&msg);
-        if !constant_eq(&expect, &record.tag) {
+        let parts: [&[u8]; 2] = [&record.nonce.to_be_bytes(), &record.ciphertext];
+        if !self.mac.verify_parts(&parts, &record.tag) {
             return Err(CryptoError::AuthFailed);
         }
         let mut plaintext = record.ciphertext.clone();

@@ -5,17 +5,30 @@
 //! *encryption* per key-setup packet (§3.2, §4 of the paper); keeping that
 //! operation cheap is what makes the key-setup path DoS-tolerant, so this
 //! module is on the hot path of experiment T1.
+//!
+//! Multiplication uses the CIOS (coarsely integrated operand scanning)
+//! method: multiply and reduce are interleaved over fixed-length limb
+//! buffers, so no intermediate [`BigUint`] is allocated per product.
+//! Exponentiation walks the exponent MSB-first with a fixed 4-bit window
+//! (15 precomputed odd-and-even powers, four squarings plus at most one
+//! multiply per digit) once the exponent is large enough to amortize the
+//! table; short exponents (RSA e = 3) take a plain square-and-multiply
+//! ladder.
 
 use crate::biguint::BigUint;
 
+/// Exponents at or below this bit length skip window precomputation.
+const WINDOW_MIN_BITS: usize = 16;
+
 /// Precomputed Montgomery context for a fixed odd modulus.
+#[derive(Clone)]
 pub struct Montgomery {
     n: BigUint,
     n_limbs: Vec<u64>,
     /// `-n^{-1} mod 2^64`.
     n0inv: u64,
-    /// `R^2 mod n` where `R = 2^(64 * n_limbs.len())`.
-    r2: BigUint,
+    /// `R^2 mod n` where `R = 2^(64 * n_limbs.len())`, padded to full width.
+    r2: Vec<u64>,
 }
 
 impl Montgomery {
@@ -33,7 +46,8 @@ impl Montgomery {
         }
         debug_assert_eq!(n0.wrapping_mul(x), 1);
         let n0inv = x.wrapping_neg();
-        let r2 = BigUint::one().shl(128 * n_limbs.len()).rem(n);
+        let mut r2 = BigUint::one().shl(128 * n_limbs.len()).rem(n).into_limbs();
+        r2.resize(n_limbs.len(), 0);
         Montgomery {
             n: n.clone(),
             n_limbs,
@@ -51,80 +65,157 @@ impl Montgomery {
         self.n_limbs.len()
     }
 
-    /// Montgomery reduction of a (≤ 2·len limb) value held in `t`.
-    /// Computes `t * R^{-1} mod n`.
-    fn redc(&self, t: &mut Vec<u64>) -> BigUint {
-        let len = self.len();
-        t.resize(2 * len + 1, 0);
-        for i in 0..len {
-            let m = t[i].wrapping_mul(self.n0inv);
-            let mut carry = 0u128;
-            for j in 0..len {
-                let p = m as u128 * self.n_limbs[j] as u128 + t[i + j] as u128 + carry;
-                t[i + j] = p as u64;
-                carry = p >> 64;
+    /// CIOS Montgomery product: `out = a * b * R^{-1} mod n`.
+    ///
+    /// `a` and `b` must be `len` limbs, fully reduced; `out` receives
+    /// `len` limbs; `t` is scratch of at least `len + 2` limbs.
+    fn cios(&self, a: &[u64], b: &[u64], out: &mut [u64], t: &mut [u64]) {
+        let l = self.len();
+        let t = &mut t[..l + 2];
+        t.fill(0);
+        for &ai in &a[..l] {
+            // t += ai * b, widening into t[l] / t[l+1].
+            let mut carry = 0u64;
+            for j in 0..l {
+                let p = ai as u128 * b[j] as u128 + t[j] as u128 + carry as u128;
+                t[j] = p as u64;
+                carry = (p >> 64) as u64;
             }
-            let mut k = i + len;
-            while carry != 0 {
-                let p = t[k] as u128 + carry;
-                t[k] = p as u64;
-                carry = p >> 64;
-                k += 1;
+            let p = t[l] as u128 + carry as u128;
+            t[l] = p as u64;
+            t[l + 1] = (p >> 64) as u64;
+            // Fold in m*n, shifting t down one limb: one Montgomery step.
+            let m = t[0].wrapping_mul(self.n0inv);
+            let p = m as u128 * self.n_limbs[0] as u128 + t[0] as u128;
+            let mut carry = (p >> 64) as u64;
+            for j in 1..l {
+                let p = m as u128 * self.n_limbs[j] as u128 + t[j] as u128 + carry as u128;
+                t[j - 1] = p as u64;
+                carry = (p >> 64) as u64;
             }
+            let p = t[l] as u128 + carry as u128;
+            t[l - 1] = p as u64;
+            // Cannot overflow: the running value stays below 2n * 2^64.
+            t[l] = t[l + 1] + (p >> 64) as u64;
         }
-        let mut res = BigUint::from_limbs(t[len..].to_vec());
-        if res >= self.n {
-            res = res.sub(&self.n);
+        // Final conditional subtraction brings the result below n.
+        let ge = t[l] != 0 || {
+            let mut ge = true;
+            for j in (0..l).rev() {
+                if t[j] != self.n_limbs[j] {
+                    ge = t[j] > self.n_limbs[j];
+                    break;
+                }
+            }
+            ge
+        };
+        if ge {
+            let mut borrow = 0u64;
+            for j in 0..l {
+                let (d1, b1) = t[j].overflowing_sub(self.n_limbs[j]);
+                let (d2, b2) = d1.overflowing_sub(borrow);
+                out[j] = d2;
+                borrow = (b1 as u64) + (b2 as u64);
+            }
+        } else {
+            out[..l].copy_from_slice(&t[..l]);
         }
-        res
     }
 
-    /// Product of two values already in Montgomery form.
-    fn mont_mul(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        let prod = a.mul(b);
-        let mut t = prod.limbs().to_vec();
-        self.redc(&mut t)
+    /// Pads a fully-reduced value to the modulus width.
+    fn pad(&self, x: &BigUint) -> Vec<u64> {
+        debug_assert!(*x < self.n);
+        let mut v = x.limbs().to_vec();
+        v.resize(self.len(), 0);
+        v
     }
 
-    /// Converts into Montgomery form: `x * R mod n`.
-    fn to_mont(&self, x: &BigUint) -> BigUint {
-        self.mont_mul(x, &self.r2)
-    }
-
-    /// Converts out of Montgomery form: `x * R^{-1} mod n`.
-    fn demont(&self, x: &BigUint) -> BigUint {
-        let mut t = x.limbs().to_vec();
-        self.redc(&mut t)
-    }
-
-    /// `base ^ exponent mod n` by right-to-left binary exponentiation.
+    /// `base ^ exponent mod n`.
     pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
         if exponent.is_zero() {
             return BigUint::one().rem(&self.n);
         }
-        let mut b = self.to_mont(&base.rem(&self.n));
-        // 1 in Montgomery form is R mod n = redc(R^2).
-        let mut acc = {
-            let mut t = self.r2.limbs().to_vec();
-            self.redc(&mut t)
-        };
+        let l = self.len();
+        let mut scratch = vec![0u64; l + 2];
+        let mut one = vec![0u64; l];
+        one[0] = 1;
+        let mut base_m = vec![0u64; l];
+        self.cios(
+            &self.pad(&base.rem(&self.n)),
+            &self.r2,
+            &mut base_m,
+            &mut scratch,
+        );
+
         let bits = exponent.bit_len();
-        for i in 0..bits {
-            if exponent.bit(i) {
-                acc = self.mont_mul(&acc, &b);
+        let mut acc;
+        let mut tmp = vec![0u64; l];
+        if bits <= WINDOW_MIN_BITS {
+            // Square-and-multiply, MSB-first: cheap for the public
+            // exponent (e = 3) on the key-setup encrypt path.
+            acc = base_m.clone();
+            for i in (0..bits - 1).rev() {
+                self.cios(&acc, &acc, &mut tmp, &mut scratch);
+                std::mem::swap(&mut acc, &mut tmp);
+                if exponent.bit(i) {
+                    self.cios(&acc, &base_m, &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
             }
-            if i + 1 < bits {
-                b = self.mont_mul(&b, &b);
+        } else {
+            // Fixed 4-bit window for the long CRT exponents: precompute
+            // base^0..base^15 in Montgomery form, then four squarings and
+            // at most one table multiply per exponent digit.
+            let mut table: Vec<Vec<u64>> = Vec::with_capacity(16);
+            let mut one_m = vec![0u64; l];
+            self.cios(&self.r2, &one, &mut one_m, &mut scratch);
+            table.push(one_m);
+            table.push(base_m);
+            for i in 2..16 {
+                let mut next = vec![0u64; l];
+                self.cios(&table[i - 1], &table[1], &mut next, &mut scratch);
+                table.push(next);
+            }
+            // 4 divides 64, so a digit never straddles a limb boundary.
+            let limbs = exponent.limbs();
+            let digit = |k: usize| -> usize {
+                let bit = 4 * k;
+                ((limbs[bit / 64] >> (bit % 64)) & 0xf) as usize
+            };
+            let top = bits.div_ceil(4) - 1;
+            acc = table[digit(top)].clone();
+            for k in (0..top).rev() {
+                for _ in 0..4 {
+                    self.cios(&acc, &acc, &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
+                let d = digit(k);
+                if d != 0 {
+                    self.cios(&acc, &table[d], &mut tmp, &mut scratch);
+                    std::mem::swap(&mut acc, &mut tmp);
+                }
             }
         }
-        self.demont(&acc)
+        // Leave the Montgomery domain.
+        self.cios(&acc, &one, &mut tmp, &mut scratch);
+        BigUint::from_limbs(tmp)
     }
 
     /// Modular multiplication `a * b mod n` through the Montgomery domain.
     pub fn mul_mod(&self, a: &BigUint, b: &BigUint) -> BigUint {
-        let am = self.to_mont(&a.rem(&self.n));
-        let bm = self.to_mont(&b.rem(&self.n));
-        self.demont(&self.mont_mul(&am, &bm))
+        let l = self.len();
+        let mut scratch = vec![0u64; l + 2];
+        let mut am = vec![0u64; l];
+        let mut bm = vec![0u64; l];
+        self.cios(&self.pad(&a.rem(&self.n)), &self.r2, &mut am, &mut scratch);
+        self.cios(&self.pad(&b.rem(&self.n)), &self.r2, &mut bm, &mut scratch);
+        let mut prod = vec![0u64; l];
+        self.cios(&am, &bm, &mut prod, &mut scratch);
+        let mut one = vec![0u64; l];
+        one[0] = 1;
+        let mut out = vec![0u64; l];
+        self.cios(&prod, &one, &mut out, &mut scratch);
+        BigUint::from_limbs(out)
     }
 }
 
@@ -175,6 +266,25 @@ mod tests {
         assert_eq!(m.pow(&base, &p.sub(&BigUint::one())), BigUint::one());
     }
 
+    #[test]
+    fn windowed_path_crosses_threshold_consistently() {
+        // Exponents straddling WINDOW_MIN_BITS must agree with a naive
+        // square-and-multiply reference built from BigUint::mul_mod.
+        let n = BigUint::one().shl(127).sub(&BigUint::one());
+        let base = big(0xdead_beef_cafe_f00d);
+        for bits in [15usize, 16, 17, 20, 64] {
+            let e = BigUint::one().shl(bits).sub(&BigUint::one());
+            let m = Montgomery::new(&n);
+            let mut expect = BigUint::one();
+            let b = base.rem(&n);
+            for _ in 0..bits {
+                expect = expect.mul_mod(&expect, &n);
+                expect = expect.mul_mod(&b, &n);
+            }
+            assert_eq!(m.pow(&base, &e), expect, "bits={bits}");
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_pow_matches_naive_u64(
@@ -191,6 +301,28 @@ mod tests {
                 expect = expect.mul_mod(&b, &n);
             }
             prop_assert_eq!(mont.pow(&big(base as u128), &big(exp as u128)), expect);
+        }
+
+        #[test]
+        fn prop_pow_matches_naive_multilimb(
+            base in any::<u128>(),
+            exp in any::<u32>(),
+            modulus in 5u128..,
+        ) {
+            // Multi-limb moduli with window-sized exponents: reference is
+            // MSB-first square-and-multiply over BigUint::mul_mod.
+            let n = big(modulus | 1);
+            let mont = Montgomery::new(&n);
+            let e = big(exp as u128);
+            let b = big(base).rem(&n);
+            let mut expect = BigUint::one().rem(&n);
+            for i in (0..e.bit_len()).rev() {
+                expect = expect.mul_mod(&expect, &n);
+                if e.bit(i) {
+                    expect = expect.mul_mod(&b, &n);
+                }
+            }
+            prop_assert_eq!(mont.pow(&big(base), &e), expect);
         }
 
         #[test]

@@ -25,12 +25,24 @@ pub const PUBLIC_EXPONENT: u64 = 3;
 const MIN_PAD: usize = 8;
 
 /// RSA public key (modulus + implicit exponent 3).
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct RsaPublicKey {
     n: BigUint,
     /// Modulus size in bytes; every ciphertext is exactly this long.
     k: usize,
+    /// Montgomery context for `n`, precomputed once per key so the
+    /// per-packet encrypt path skips the R² setup division.
+    mont: Montgomery,
 }
+
+impl PartialEq for RsaPublicKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The Montgomery context is derived from (n, k); ignore it.
+        self.n == other.n && self.k == other.k
+    }
+}
+
+impl Eq for RsaPublicKey {}
 
 impl core::fmt::Debug for RsaPublicKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
@@ -47,6 +59,9 @@ pub struct RsaPrivateKey {
     dp: BigUint,
     dq: BigUint,
     qinv: BigUint,
+    /// Montgomery contexts for the CRT primes, precomputed once per key.
+    mp: Montgomery,
+    mq: Montgomery,
 }
 
 impl core::fmt::Debug for RsaPrivateKey {
@@ -96,7 +111,14 @@ pub fn generate_keypair<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> RsaKeypair
             Some(v) => v,
             None => continue, // p == q was excluded, so this cannot happen
         };
-        let public = RsaPublicKey { n, k: bits / 8 };
+        let mont = Montgomery::new(&n);
+        let public = RsaPublicKey {
+            n,
+            k: bits / 8,
+            mont,
+        };
+        let mp = Montgomery::new(&p);
+        let mq = Montgomery::new(&q);
         return RsaKeypair {
             private: RsaPrivateKey {
                 public: public.clone(),
@@ -105,6 +127,8 @@ pub fn generate_keypair<R: Rng + ?Sized>(rng: &mut R, bits: usize) -> RsaKeypair
                 dp,
                 dq,
                 qinv,
+                mp,
+                mq,
             },
             public,
         };
@@ -133,8 +157,7 @@ impl RsaPublicKey {
             return Err(CryptoError::MessageTooLong);
         }
         // e = 3: square then multiply — the two multiplications of §3.2.
-        let mont = Montgomery::new(&self.n);
-        Ok(mont.pow(m, &BigUint::from_u64(PUBLIC_EXPONENT)))
+        Ok(self.mont.pow(m, &BigUint::from_u64(PUBLIC_EXPONENT)))
     }
 
     /// Pads and encrypts `msg`; output is exactly `modulus_len()` bytes.
@@ -184,7 +207,8 @@ impl RsaPublicKey {
         if n.bit_len() != k * 8 || n.is_even() {
             return Err(CryptoError::BadKey);
         }
-        Ok((RsaPublicKey { n, k }, 2 + k))
+        let mont = Montgomery::new(&n);
+        Ok((RsaPublicKey { n, k, mont }, 2 + k))
     }
 
     /// The modulus, for experiments that factor short keys (E6).
@@ -204,10 +228,8 @@ impl RsaPrivateKey {
         if c >= &self.public.n {
             return Err(CryptoError::BadPadding);
         }
-        let mp = Montgomery::new(&self.p);
-        let mq = Montgomery::new(&self.q);
-        let m1 = mp.pow(c, &self.dp);
-        let m2 = mq.pow(c, &self.dq);
+        let m1 = self.mp.pow(c, &self.dp);
+        let m2 = self.mq.pow(c, &self.dq);
         // h = qinv * (m1 - m2) mod p, lifting m2 into Z_p first.
         let m2_mod_p = m2.rem(&self.p);
         let diff = if m1 >= m2_mod_p {
@@ -215,7 +237,7 @@ impl RsaPrivateKey {
         } else {
             m1.add(&self.p).sub(&m2_mod_p)
         };
-        let h = mp.mul_mod(&self.qinv, &diff);
+        let h = self.mp.mul_mod(&self.qinv, &diff);
         Ok(m2.add(&h.mul(&self.q)))
     }
 

@@ -30,6 +30,36 @@ fn fips197_aes128_block() {
     assert_eq!(block, hex16("00112233445566778899aabbccddeeff"));
 }
 
+/// FIPS-197 Appendix B: the worked cipher example (a different key than
+/// C.1, so both T-table key schedules see a published answer).
+#[test]
+fn fips197_appendix_b_block() {
+    let aes = Aes128::new(&hex16("2b7e151628aed2a6abf7158809cf4f3c"));
+    let mut block = hex16("3243f6a8885a308d313198a2e0370734");
+    aes.encrypt_block(&mut block);
+    assert_eq!(block, hex16("3925841d02dc09fbdc118597196a0b32"));
+    aes.decrypt_block(&mut block);
+    assert_eq!(block, hex16("3243f6a8885a308d313198a2e0370734"));
+}
+
+/// FIPS-197 C.1 through the batch API: nine copies of the known-answer
+/// block cover both the pipelined lanes and the scalar remainder, and
+/// every lane must produce the published ciphertext. Decrypting each
+/// block exercises the inverse T-table path against the same vector.
+#[test]
+fn fips197_batch_path_known_answer() {
+    let aes = Aes128::new(&hex16("000102030405060708090a0b0c0d0e0f"));
+    let plain = hex16("00112233445566778899aabbccddeeff");
+    let cipher = hex16("69c4e0d86a7b0430d8cdb78070b4c55a");
+    let mut blocks = [plain; 9];
+    aes.encrypt_blocks(&mut blocks);
+    for block in &mut blocks {
+        assert_eq!(*block, cipher);
+        aes.decrypt_block(block);
+        assert_eq!(*block, plain);
+    }
+}
+
 /// RFC 4493 §4: the four AES-CMAC examples.
 #[test]
 fn rfc4493_cmac_vectors() {
@@ -70,6 +100,48 @@ fn sp800_38a_ctr_aes128() {
     // Decryption is the same operation.
     ctr.apply_keystream_at(0xf0f1f2f3f4f5f6f7, 0xf8f9fafbfcfdfeff, &mut data);
     assert_eq!(data[..16], hex("6bc1bee22e409f96e93d7e117393172a")[..]);
+}
+
+/// NIST SP 800-38A F.5.1/F.5.2 through the eight-lane batch keystream:
+/// the 64-byte vector alone rides the scalar remainder, so embed it in
+/// a 144-byte buffer whose first 128 bytes go through
+/// `Aes128::encrypt_blocks`. The published blocks must come out
+/// identical, the tail must match block-at-a-time keystream generation,
+/// and a second application (F.5.2: decryption is the same operation)
+/// must restore the plaintext.
+#[test]
+fn sp800_38a_ctr_aes128_batch_lanes() {
+    let key = hex16("2b7e151628aed2a6abf7158809cf4f3c");
+    let nonce = 0xf0f1f2f3f4f5f6f7;
+    let first_block = 0xf8f9fafbfcfdfeff_u64;
+    let plain = hex("6bc1bee22e409f96e93d7e117393172a\
+         ae2d8a571e03ac9c9eb76fac45af8e51\
+         30c81c46a35ce411e5fbc1191a0a52ef\
+         f69f2445df4f9b17ad2b417be66c3710");
+    let cipher = hex("874d6191b620e3261bef6864990db6ce\
+         9806f66b7970fdff8617187bb9fffdff\
+         5ae4df3edbd5d35e5b4f09020db03eab\
+         1e031dda2fbe03d1792170a0f3009cee");
+    let ctr = AesCtr::new(&key);
+    let mut data = vec![0u8; 144];
+    data[..64].copy_from_slice(&plain);
+    ctr.apply_keystream_at(nonce, first_block, &mut data);
+    assert_eq!(
+        &data[..64],
+        &cipher[..],
+        "published blocks survive batching"
+    );
+    // The zero tail is raw keystream: blocks 4..9 counted onward from
+    // the vector's initial counter block, one at a time.
+    for (i, chunk) in data[64..].chunks(16).enumerate() {
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&nonce.to_be_bytes());
+        block[8..].copy_from_slice(&(first_block.wrapping_add(4 + i as u64)).to_be_bytes());
+        assert_eq!(chunk, ctr.keystream_block_raw(&block));
+    }
+    ctr.apply_keystream_at(nonce, first_block, &mut data);
+    assert_eq!(&data[..64], &plain[..], "F.5.2: CTR decryption round-trips");
+    assert!(data[64..].iter().all(|&b| b == 0));
 }
 
 /// SP 800-38A's first keystream block, via the raw-block API.
