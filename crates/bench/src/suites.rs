@@ -132,7 +132,12 @@ pub fn key_setup() {
     let msg = [0x5a; 24]; // nonce(8) ‖ Ks(16)
     let ct = kp.public.encrypt(&mut rng, &msg).expect("encrypts");
 
-    bench("rsa512_keygen_source", iters(20), || {
+    // 100 iterations, not the pre-ISSUE-10 20: the windowed-sieve keygen
+    // lands near 1.5 ms/iter, and prime search has genuinely long-tailed
+    // per-iteration cost (a window with a late first prime costs several
+    // times the mean), so the CI tolerance gate needs enough iterations
+    // to average the tail into a stable mean (~150 ms of work).
+    bench("rsa512_keygen_source", iters(100), || {
         black_box(nn_crypto::generate_keypair(&mut rng, 512));
     });
     bench("rsa512_e3_encrypt_neutralizer", iters(10_000), || {
@@ -376,9 +381,13 @@ pub fn ablation_keysetup() {
 
     for bits in [320usize, 512, 768] {
         let kp = nn_crypto::generate_keypair(&mut rng, bits);
+        // Post-ISSUE-10 keygen is ~0.6–2.5 ms/iter; prime search's
+        // long-tailed per-iteration cost needs ~50+ iterations for a
+        // mean the 25% CI gate can rely on (the old 20/5 split dates
+        // from when one 768-bit keygen cost ~20 ms).
         bench(
             &format!("keygen_{bits}"),
-            iters(if bits > 512 { 5 } else { 20 }),
+            iters(if bits > 512 { 50 } else { 100 }),
             || {
                 black_box(nn_crypto::generate_keypair(&mut rng, bits));
             },

@@ -317,6 +317,21 @@ impl BigUint {
         self.div_rem(modulus).1
     }
 
+    /// Remainder by a single word: a top-down limb scan folding each
+    /// limb into a 128-bit accumulator — no quotient, no allocation.
+    ///
+    /// This is what makes windowed prime sieving cheap: one `rem_u64`
+    /// per small prime per *window*, instead of a full multi-limb
+    /// division per small prime per *candidate*. Panics on `m == 0`.
+    pub fn rem_u64(&self, m: u64) -> u64 {
+        assert!(m != 0, "BigUint::rem_u64 division by zero");
+        let mut rem: u128 = 0;
+        for &limb in self.limbs.iter().rev() {
+            rem = ((rem << 64) | limb as u128) % m as u128;
+        }
+        rem as u64
+    }
+
     /// Modular multiplication `self * other mod m`.
     pub fn mul_mod(&self, other: &BigUint, m: &BigUint) -> BigUint {
         self.mul(other).rem(m)
@@ -781,6 +796,25 @@ mod tests {
     }
 
     #[test]
+    fn rem_u64_known_values() {
+        assert_eq!(BigUint::zero().rem_u64(7), 0);
+        assert_eq!(big(u128::MAX).rem_u64(1), 0);
+        assert_eq!(
+            big(u128::MAX).rem_u64(u64::MAX),
+            (u128::MAX % u64::MAX as u128) as u64
+        );
+        // Three-limb value against a 13-bit modulus (the sieve case).
+        let v = BigUint::one().shl(191).add(&big(12345));
+        assert_eq!(BigUint::from_u64(v.rem_u64(8191)), v.rem(&big(8191)));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn rem_u64_zero_modulus_panics() {
+        let _ = big(5).rem_u64(0);
+    }
+
+    #[test]
     fn random_below_in_range() {
         let mut rng = StdRng::seed_from_u64(9);
         let bound = big(1_000_003);
@@ -838,6 +872,16 @@ mod tests {
             let mont = b.pow_mod(&e, &m);
             let generic = b.pow_mod_generic(&e, &m);
             prop_assert_eq!(mont, generic);
+        }
+
+        #[test]
+        fn prop_rem_u64_matches_rem(
+            a in proptest::collection::vec(any::<u8>(), 0..96),
+            m in 1u64..,
+        ) {
+            let ba = BigUint::from_bytes_be(&a);
+            let expect = ba.rem(&BigUint::from_u64(m));
+            prop_assert_eq!(BigUint::from_u64(ba.rem_u64(m)), expect);
         }
 
         #[test]

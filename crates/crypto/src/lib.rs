@@ -47,5 +47,5 @@ pub use ctr::AesCtr;
 pub use e2e::{E2eEnvelope, E2eRecord, E2eSession};
 pub use error::{CryptoError, Result};
 pub use kdf::MasterKey;
-pub use rsa::{generate_keypair, RsaKeypair, RsaPrivateKey, RsaPublicKey};
+pub use rsa::{generate_keypair, keygen_rng, RsaKeypair, RsaPrivateKey, RsaPublicKey};
 pub use sealed::{open_addr, seal_addr, AddrSealer};

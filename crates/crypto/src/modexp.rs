@@ -132,13 +132,8 @@ impl Montgomery {
 
     /// `base ^ exponent mod n`.
     pub fn pow(&self, base: &BigUint, exponent: &BigUint) -> BigUint {
-        if exponent.is_zero() {
-            return BigUint::one().rem(&self.n);
-        }
         let l = self.len();
         let mut scratch = vec![0u64; l + 2];
-        let mut one = vec![0u64; l];
-        one[0] = 1;
         let mut base_m = vec![0u64; l];
         self.cios(
             &self.pad(&base.rem(&self.n)),
@@ -146,6 +141,31 @@ impl Montgomery {
             &mut base_m,
             &mut scratch,
         );
+        let acc = self.pow_mont_limbs(&base_m, exponent, &mut scratch);
+        let mut one = vec![0u64; l];
+        one[0] = 1;
+        let mut tmp = vec![0u64; l];
+        self.cios(&acc, &one, &mut tmp, &mut scratch);
+        BigUint::from_limbs(tmp)
+    }
+
+    /// Montgomery-domain exponentiation core: `base_m` is in Montgomery
+    /// form and the result stays in Montgomery form — no exit conversion.
+    ///
+    /// [`MontCtx`] builds Miller–Rabin on this so every squaring,
+    /// multiply, and comparison of a candidate happens in-domain;
+    /// [`Montgomery::pow`] wraps it with the entry/exit conversions.
+    /// `scratch` must hold at least `len + 2` limbs.
+    fn pow_mont_limbs(&self, base_m: &[u64], exponent: &BigUint, scratch: &mut [u64]) -> Vec<u64> {
+        let l = self.len();
+        let mut one = vec![0u64; l];
+        one[0] = 1;
+        if exponent.is_zero() {
+            // 1 in Montgomery form is R mod n = mont(1 * R^2).
+            let mut one_m = vec![0u64; l];
+            self.cios(&self.r2, &one, &mut one_m, scratch);
+            return one_m;
+        }
 
         let bits = exponent.bit_len();
         let mut acc;
@@ -153,12 +173,12 @@ impl Montgomery {
         if bits <= WINDOW_MIN_BITS {
             // Square-and-multiply, MSB-first: cheap for the public
             // exponent (e = 3) on the key-setup encrypt path.
-            acc = base_m.clone();
+            acc = base_m.to_vec();
             for i in (0..bits - 1).rev() {
-                self.cios(&acc, &acc, &mut tmp, &mut scratch);
+                self.cios(&acc, &acc, &mut tmp, scratch);
                 std::mem::swap(&mut acc, &mut tmp);
                 if exponent.bit(i) {
-                    self.cios(&acc, &base_m, &mut tmp, &mut scratch);
+                    self.cios(&acc, base_m, &mut tmp, scratch);
                     std::mem::swap(&mut acc, &mut tmp);
                 }
             }
@@ -168,12 +188,12 @@ impl Montgomery {
             // at most one table multiply per exponent digit.
             let mut table: Vec<Vec<u64>> = Vec::with_capacity(16);
             let mut one_m = vec![0u64; l];
-            self.cios(&self.r2, &one, &mut one_m, &mut scratch);
+            self.cios(&self.r2, &one, &mut one_m, scratch);
             table.push(one_m);
-            table.push(base_m);
+            table.push(base_m.to_vec());
             for i in 2..16 {
                 let mut next = vec![0u64; l];
-                self.cios(&table[i - 1], &table[1], &mut next, &mut scratch);
+                self.cios(&table[i - 1], &table[1], &mut next, scratch);
                 table.push(next);
             }
             // 4 divides 64, so a digit never straddles a limb boundary.
@@ -186,19 +206,17 @@ impl Montgomery {
             acc = table[digit(top)].clone();
             for k in (0..top).rev() {
                 for _ in 0..4 {
-                    self.cios(&acc, &acc, &mut tmp, &mut scratch);
+                    self.cios(&acc, &acc, &mut tmp, scratch);
                     std::mem::swap(&mut acc, &mut tmp);
                 }
                 let d = digit(k);
                 if d != 0 {
-                    self.cios(&acc, &table[d], &mut tmp, &mut scratch);
+                    self.cios(&acc, &table[d], &mut tmp, scratch);
                     std::mem::swap(&mut acc, &mut tmp);
                 }
             }
         }
-        // Leave the Montgomery domain.
-        self.cios(&acc, &one, &mut tmp, &mut scratch);
-        BigUint::from_limbs(tmp)
+        acc
     }
 
     /// Modular multiplication `a * b mod n` through the Montgomery domain.
@@ -216,6 +234,83 @@ impl Montgomery {
         let mut out = vec![0u64; l];
         self.cios(&prod, &one, &mut out, &mut scratch);
         BigUint::from_limbs(out)
+    }
+}
+
+/// A reusable Montgomery workspace that keeps intermediate values *in*
+/// Montgomery form between operations.
+///
+/// [`Montgomery::pow`] and [`Montgomery::mul_mod`] convert in and out of
+/// the domain on every call — fine for one-shot RSA operations, wasteful
+/// for Miller–Rabin, which chains dozens of exponentiations and squarings
+/// against the *same* candidate modulus. `MontCtx` owns the scratch
+/// buffers once and exposes the domain directly: values are `len`-limb
+/// vectors in Montgomery form, always fully reduced below `n` (the CIOS
+/// final subtraction guarantees this), so in-domain values compare with
+/// plain `==`.
+pub struct MontCtx {
+    m: Montgomery,
+    /// CIOS scratch, `len + 2` limbs.
+    scratch: Vec<u64>,
+    /// Secondary output buffer for in-place operations.
+    tmp: Vec<u64>,
+}
+
+impl MontCtx {
+    /// Builds a workspace for an odd modulus `n > 1`.
+    pub fn new(n: &BigUint) -> Self {
+        let m = Montgomery::new(n);
+        let l = m.len();
+        MontCtx {
+            scratch: vec![0u64; l + 2],
+            tmp: vec![0u64; l],
+            m,
+        }
+    }
+
+    /// The modulus this workspace reduces by.
+    pub fn modulus(&self) -> &BigUint {
+        &self.m.n
+    }
+
+    /// Converts `x` into Montgomery form (`x * R mod n`, padded limbs).
+    pub fn to_mont(&mut self, x: &BigUint) -> Vec<u64> {
+        let padded = self.m.pad(&x.rem(&self.m.n));
+        let mut out = vec![0u64; self.m.len()];
+        self.m
+            .cios(&padded, &self.m.r2, &mut out, &mut self.scratch);
+        out
+    }
+
+    /// Converts a Montgomery-form value back to a plain [`BigUint`].
+    pub fn from_mont(&mut self, x_m: &[u64]) -> BigUint {
+        let l = self.m.len();
+        let mut one = vec![0u64; l];
+        one[0] = 1;
+        let mut out = vec![0u64; l];
+        self.m.cios(x_m, &one, &mut out, &mut self.scratch);
+        BigUint::from_limbs(out)
+    }
+
+    /// In-domain product of two Montgomery-form values.
+    pub fn mul_mont(&mut self, a_m: &[u64], b_m: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; self.m.len()];
+        self.m.cios(a_m, b_m, &mut out, &mut self.scratch);
+        out
+    }
+
+    /// Squares a Montgomery-form value in place, reusing the workspace
+    /// buffers — the Miller–Rabin inner loop is exactly `s - 1` of these.
+    pub fn square_in_place(&mut self, x_m: &mut Vec<u64>) {
+        self.m.cios(x_m, x_m, &mut self.tmp, &mut self.scratch);
+        std::mem::swap(x_m, &mut self.tmp);
+    }
+
+    /// `base ^ exponent mod n`, returned in Montgomery form so callers
+    /// can keep chaining squarings and comparisons without conversions.
+    pub fn pow_mont(&mut self, base: &BigUint, exponent: &BigUint) -> Vec<u64> {
+        let base_m = self.to_mont(base);
+        self.m.pow_mont_limbs(&base_m, exponent, &mut self.scratch)
     }
 }
 
@@ -285,7 +380,60 @@ mod tests {
         }
     }
 
+    #[test]
+    fn mont_ctx_roundtrip_and_ops_match_montgomery() {
+        let n = BigUint::one().shl(127).sub(&BigUint::one());
+        let m = Montgomery::new(&n);
+        let mut ctx = MontCtx::new(&n);
+        let a = big(0x1234_5678_9abc_def0_1122_3344_5566_7788);
+        let b = big(0xfedc_ba98_7654_3210);
+        // to_mont / from_mont round-trips.
+        let am = ctx.to_mont(&a);
+        assert_eq!(ctx.from_mont(&am), a.rem(&n));
+        // mul_mont in-domain equals mul_mod.
+        let bm = ctx.to_mont(&b);
+        let prod = ctx.mul_mont(&am, &bm);
+        assert_eq!(ctx.from_mont(&prod), m.mul_mod(&a, &b));
+        // square_in_place equals mul_mod(x, x).
+        let mut sq = am.clone();
+        ctx.square_in_place(&mut sq);
+        assert_eq!(ctx.from_mont(&sq), m.mul_mod(&a, &a));
+        // pow_mont equals pow after leaving the domain, including exp = 0.
+        for e in [0u128, 1, 2, 3, 65537, u128::MAX] {
+            let e = big(e);
+            let pm = ctx.pow_mont(&a, &e);
+            assert_eq!(ctx.from_mont(&pm), m.pow(&a, &e));
+        }
+    }
+
+    #[test]
+    fn mont_ctx_values_compare_in_domain() {
+        // CIOS output is fully reduced, so equal residues have equal
+        // Montgomery-form limb vectors — the property Miller–Rabin's
+        // in-domain `==` checks rely on.
+        let n = big(1_000_000_007);
+        let mut ctx = MontCtx::new(&n);
+        let x = big(123_456_789);
+        let same = big(123_456_789 + 1_000_000_007);
+        assert_eq!(ctx.to_mont(&x), ctx.to_mont(&same));
+        assert_ne!(ctx.to_mont(&x), ctx.to_mont(&big(42)));
+    }
+
     proptest! {
+        #[test]
+        fn prop_mont_ctx_pow_matches_pow(
+            base in any::<u128>(),
+            exp in any::<u64>(),
+            modulus in 3u128..,
+        ) {
+            let n = big(modulus | 1);
+            let mont = Montgomery::new(&n);
+            let mut ctx = MontCtx::new(&n);
+            let (b, e) = (big(base), big(exp as u128));
+            let pm = ctx.pow_mont(&b, &e);
+            prop_assert_eq!(ctx.from_mont(&pm), mont.pow(&b, &e));
+        }
+
         #[test]
         fn prop_pow_matches_naive_u64(
             base in any::<u64>(),

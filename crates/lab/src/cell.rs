@@ -495,6 +495,9 @@ pub fn run_cell_with_pool(
         "neutralizer-b.return_anonymized",
         "source.established",
         "source.failovers",
+        // Keygen work per cell: a count only, like key_cache_hit/_miss
+        // kept out of the golden-sensitive flow rows.
+        "source.keygens",
         "events.applied",
         "events.pause_drops",
         "probe.pairs_tx",

@@ -602,8 +602,16 @@ impl NeutralizedSourceNode {
 impl Node for NeutralizedSourceNode {
     fn on_start(&mut self, ctx: &mut Context) {
         // §3.2 step 1: mint a one-time RSA key and ask the neutralizer
-        // for a session key bound to our address.
-        self.keypair = Some(nn_crypto::generate_keypair(ctx.rng, self.onetime_rsa_bits));
+        // for a session key bound to our address. Keygen draws from a
+        // sub-RNG forked with a single `ctx.rng` draw, so the host stream
+        // advances a fixed amount no matter how many candidates prime
+        // search rejects — goldens stay invariant to keygen internals.
+        let mut krng = nn_crypto::keygen_rng(ctx.rng);
+        self.keypair = Some(nn_crypto::generate_keypair(
+            &mut krng,
+            self.onetime_rsa_bits,
+        ));
+        ctx.stats.count("source.keygens");
         self.send_key_setup(ctx);
         // Failover machinery only runs for multihomed destinations, so
         // single-homed cells schedule no extra timers (byte-identical
